@@ -1,0 +1,42 @@
+// Command purity-bench regenerates the paper's evaluation: every table and
+// figure plus the quantitative claims, as listed in DESIGN.md's experiment
+// index. Absolute numbers come from the simulated shelf; compare shapes
+// against the paper values quoted in each section (and EXPERIMENTS.md).
+//
+// Usage:
+//
+//	purity-bench -experiment all            # everything, full sizes
+//	purity-bench -experiment T1 -quick      # one experiment, CI sizes
+//	purity-bench -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"purity/internal/bench"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all", "experiment id (T1, T2, F5-F7, E1-E9, A1) or 'all'")
+	quick := flag.Bool("quick", false, "smaller workloads (CI-sized)")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Experiments() {
+			fmt.Printf("%-4s %s\n", e.Name, e.Title)
+		}
+		return
+	}
+	start := time.Now()
+	opts := bench.Options{Out: os.Stdout, Quick: *quick, Seed: *seed}
+	if err := bench.Run(*experiment, opts); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n[purity-bench: %s completed in %v wall time]\n", *experiment, time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,61 @@
+// Command purity-server runs a Purity array and serves its volumes over the
+// wire protocol on two ports — one per controller, in the paper's
+// active-active arrangement (clients may use either; the secondary forwards
+// internally).
+//
+// Usage:
+//
+//	purity-server [-primary :7005] [-secondary :7006] [-drives 11] [-drive-gib 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+
+	"purity/internal/controller"
+	"purity/internal/core"
+	"purity/internal/server"
+)
+
+func main() {
+	primaryAddr := flag.String("primary", "127.0.0.1:7005", "primary controller listen address")
+	secondaryAddr := flag.String("secondary", "127.0.0.1:7006", "secondary controller listen address")
+	drives := flag.Int("drives", 11, "SSDs in the shelf (paper: 11-24)")
+	driveMiB := flag.Int64("drive-mib", 256, "capacity per drive, MiB")
+	noDedup := flag.Bool("no-dedup", false, "disable inline deduplication")
+	noCompress := flag.Bool("no-compress", false, "disable inline compression")
+	flag.Parse()
+
+	cfg := core.DefaultConfig()
+	cfg.Shelf.Drives = *drives
+	cfg.Shelf.DriveConfig.Capacity = *driveMiB << 20
+	cfg.DedupEnabled = !*noDedup
+	cfg.CompressionEnabled = !*noCompress
+
+	pair, err := controller.NewPair(controller.DefaultConfig(), cfg)
+	if err != nil {
+		log.Fatalf("format: %v", err)
+	}
+	fmt.Printf("purity-server: %d drives x %d MiB (raw %d MiB), dedup=%v compress=%v\n",
+		*drives, *driveMiB, int64(*drives)**driveMiB, !*noDedup, !*noCompress)
+
+	serve := func(addr string, via controller.Role, label string) net.Listener {
+		l, err := net.Listen("tcp", addr)
+		if err != nil {
+			log.Fatalf("listen %s: %v", addr, err)
+		}
+		fmt.Printf("purity-server: %s controller on %s\n", label, l.Addr())
+		go func() {
+			if err := server.New(pair, via).Serve(l); err != nil {
+				log.Printf("%s server: %v", label, err)
+			}
+		}()
+		return l
+	}
+	serve(*primaryAddr, controller.Primary, "primary")
+	l2 := serve(*secondaryAddr, controller.Secondary, "secondary")
+	_ = l2
+	select {} // serve forever
+}

@@ -1,0 +1,83 @@
+// Failover: the paper's pull-a-drive / pull-a-controller evaluation (§1,
+// §4.3). Two drives die mid-workload with service intact; then the primary
+// controller dies and the secondary recovers from the shared shelf inside
+// the 30-second client timeout.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"purity/internal/controller"
+	"purity/internal/core"
+	"purity/internal/sim"
+	"purity/internal/workload"
+)
+
+func main() {
+	cfg := core.DefaultConfig()
+	cfg.Shelf.Drives = 11
+	cfg.Shelf.DriveConfig.Capacity = 128 << 20
+	pair, err := controller.NewPair(controller.DefaultConfig(), cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	arr := pair.Array()
+
+	vol, now, err := arr.CreateVolume(0, "ha-demo", 64<<20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	const dataBytes = 48 << 20
+	now, err = workload.Prefill(arr, vol, dataBytes, 32<<10, workload.ClassDatabase, 7, now)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if now, err = arr.FlushAll(now); err != nil {
+		log.Fatal(err)
+	}
+
+	// Reference copy of one region for integrity checks.
+	want, now2, err := arr.ReadAt(now, vol, 1<<20, 64<<10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	now = now2
+
+	// Pull two drives mid-flight, as the paper invites evaluators to do.
+	pair.WarmSecondary()
+	arr.Shelf().PullDrive(3)
+	arr.Shelf().PullDrive(8)
+	fmt.Println("pulled drives 3 and 8 — reads now reconstruct from 7+2 parity")
+	got, now3, err := pair.ReadAt(now, controller.Primary, vol, 1<<20, 64<<10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	now = now3
+	fmt.Printf("data intact through double drive failure: %v\n", bytes.Equal(got, want))
+
+	// Now kill the primary controller. The shelf (SSDs + NVRAM) is dual
+	// ported; the secondary recovers the engine from it.
+	pair.KillPrimary()
+	if _, _, err := pair.ReadAt(now, controller.Primary, vol, 0, 4096); err != nil {
+		fmt.Printf("during failover: %v\n", err)
+	}
+	rep, done, err := pair.Failover(now)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("failover: detection %v + scan %v (%d AUs) + replay %d NVRAM records = %v total\n",
+		rep.Detection, rep.Recovery.ScanTime, rep.Recovery.AUsScanned,
+		rep.Recovery.NVRAMRecords, rep.Total)
+	if rep.Total < 30*sim.Second {
+		fmt.Println("well inside the 30 s client I/O timeout — applications never noticed")
+	}
+
+	got, _, err = pair.ReadAt(done, controller.Primary, vol, 1<<20, 64<<10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("data intact through controller failover (still minus two drives): %v\n", bytes.Equal(got, want))
+	fmt.Printf("cache warming pre-loaded %d hot cblocks on the new primary\n", rep.Warmed)
+}

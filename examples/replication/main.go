@@ -1,0 +1,80 @@
+// Replication: asynchronous off-site replication (§1, §3) — snapshot
+// anchored, incremental, metadata-diffed. Only the extents written since
+// the previous round cross the link.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"purity/internal/core"
+	"purity/internal/replication"
+	"purity/internal/sim"
+	"purity/internal/workload"
+)
+
+func main() {
+	cfg := core.DefaultConfig()
+	cfg.Shelf.Drives = 11
+	cfg.Shelf.DriveConfig.Capacity = 128 << 20
+	src, err := core.Format(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dst, err := core.Format(cfg) // the off-site array
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	vol, now, err := src.CreateVolume(0, "orders-db", 64<<20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	const dbBytes = 24 << 20
+	now, err = workload.Prefill(src, vol, dbBytes, 32<<10, workload.ClassDatabase, 11, now)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	pair, now, err := replication.NewPair(now, src, dst, vol, replication.DefaultLink())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Round 1: the baseline copy.
+	rep, now, err := pair.Sync(now)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("round 1 (baseline): %d extents, %d MiB shipped in %v link time\n",
+		rep.Extents, rep.ShippedBytes>>20, rep.LinkTime)
+
+	// The application keeps writing a small hot region...
+	hot := make([]byte, 512<<10)
+	workload.NewGen(12, workload.ClassDatabase).Fill(hot, 0)
+	if now, err = src.WriteAt(now, vol, 4<<20, hot); err != nil {
+		log.Fatal(err)
+	}
+
+	// Round 2: only the delta crosses the WAN.
+	rep, now, err = pair.Sync(now)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("round 2 (incremental): %d extents, %d KiB shipped (delta was %d KiB) in %v\n",
+		rep.Extents, rep.ShippedBytes>>10, len(hot)>>10, rep.LinkTime)
+
+	// Round 3 with no changes ships nothing.
+	rep, now, err = pair.Sync(now)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("round 3 (idle): %d bytes shipped\n", rep.ShippedBytes)
+
+	// Byte-level verification of the replica.
+	if now, err = pair.Verify(now); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("replica verified byte-for-byte against the source snapshot")
+	_ = sim.Time(now)
+}

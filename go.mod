@@ -1,0 +1,3 @@
+module purity
+
+go 1.24

@@ -1,0 +1,129 @@
+package baseline
+
+import "math"
+
+// Table 1 of the paper: published specifications of a Purity array and an
+// EMC VNX-class performance disk array, from the Oracle reference
+// architecture. These constants feed the T1 cost rows and Figure 7.
+type Platform struct {
+	Name            string
+	PeakIOPS32K     float64
+	LatencyMs       float64
+	UsableTB        float64
+	RackUnits       float64
+	InstallHours    float64
+	PowerWatts      float64
+	AnnualPowerCost float64
+	DollarPerGB     float64
+}
+
+// The two columns of Table 1.
+var (
+	PurityPlatform = Platform{
+		Name: "Purity", PeakIOPS32K: 200_000, LatencyMs: 1, UsableTB: 40,
+		RackUnits: 8, InstallHours: 4, PowerWatts: 1240, AnnualPowerCost: 13_034, DollarPerGB: 5,
+	}
+	DiskPlatform = Platform{
+		Name: "Disk", PeakIOPS32K: 65_000, LatencyMs: 5, UsableTB: 25,
+		RackUnits: 28, InstallHours: 40, PowerWatts: 3500, AnnualPowerCost: 36_792, DollarPerGB: 18,
+	}
+)
+
+// Derived metrics of Table 1's lower rows.
+func (p Platform) IOPSPerRU() float64     { return p.PeakIOPS32K / p.RackUnits }
+func (p Platform) IOPSPerWatt() float64   { return p.PeakIOPS32K / p.PowerWatts }
+func (p Platform) TotalCost() float64     { return p.DollarPerGB * p.UsableTB * 1000 } // $/GB × GB
+func (p Platform) IOPSPerDollar() float64 { return p.PeakIOPS32K / p.TotalCost() }
+
+// Figure 7's cost model: the cost of keeping one data item (the paper uses
+// the 55 KiB average customer I/O) on a medium, as a function of how often
+// it is accessed. Cost = capacity component + access-frequency × the
+// amortized price of the device time each access consumes. The paper's RAM
+// price point is $1000 per 64 GiB of ECC LR-DIMMs.
+const (
+	ItemKiB         = 55.0
+	RAMDollarPerGB  = 1000.0 / 64.0
+	AmortizationYrs = 5.0
+	secondsPerYear  = 365.25 * 24 * 3600
+	ramAccessCost   = 0.0 // memory bandwidth is effectively free at this scale
+)
+
+// Medium is one storage tier in Figure 7.
+type Medium struct {
+	Label         string
+	CapacityPerGB float64 // $/GB after any data reduction
+	CostPerAccess float64 // $ per item access, amortized device time
+}
+
+// accessCost derives $/access from a platform: the whole array's price
+// buys PeakIOPS of sustained accesses for the amortization period.
+func accessCost(p Platform) float64 {
+	return p.TotalCost() / (p.PeakIOPS32K * AmortizationYrs * secondsPerYear)
+}
+
+// Figure7Mediums returns the five curves of Figure 7: Purity at 1×, 4×
+// (RDBMS) and 10× (MongoDB) reduction, the disk array, and ECC DIMMs.
+func Figure7Mediums() []Medium {
+	pur := accessCost(PurityPlatform)
+	dsk := accessCost(DiskPlatform)
+	return []Medium{
+		{Label: "1x - No reduction", CapacityPerGB: PurityPlatform.DollarPerGB, CostPerAccess: pur},
+		{Label: "4x - RDBMS", CapacityPerGB: PurityPlatform.DollarPerGB / 4, CostPerAccess: pur},
+		{Label: "10x - MongoDB", CapacityPerGB: PurityPlatform.DollarPerGB / 10, CostPerAccess: pur},
+		{Label: "Hard disk", CapacityPerGB: DiskPlatform.DollarPerGB, CostPerAccess: dsk},
+		{Label: "ECC DIMM", CapacityPerGB: RAMDollarPerGB, CostPerAccess: ramAccessCost},
+	}
+}
+
+// CostAt returns the annualized cost of holding one item on the medium when
+// it is accessed once every `interval` seconds: annual capacity rent plus
+// annual access spend.
+func (m Medium) CostAt(intervalSeconds float64) float64 {
+	itemGB := ItemKiB / (1 << 20)
+	annualCapacity := m.CapacityPerGB * itemGB / AmortizationYrs
+	annualAccesses := secondsPerYear / intervalSeconds
+	return annualCapacity + annualAccesses*m.CostPerAccess
+}
+
+// RelativeCost normalizes against the cheapest medium at that frequency,
+// matching Figure 7's "relative cost" axis.
+func RelativeCost(mediums []Medium, intervalSeconds float64) []float64 {
+	costs := make([]float64, len(mediums))
+	min := math.Inf(1)
+	for i, m := range mediums {
+		costs[i] = m.CostAt(intervalSeconds)
+		if costs[i] < min {
+			min = costs[i]
+		}
+	}
+	for i := range costs {
+		costs[i] /= min
+	}
+	return costs
+}
+
+// Crossover finds the access interval (seconds) at which medium a becomes
+// cheaper than medium b (a's capacity advantage beats b's access
+// advantage), via bisection over [1s, 1yr]. Returns NaN if no crossover.
+func Crossover(a, b Medium) float64 {
+	f := func(interval float64) float64 {
+		return a.CostAt(interval) - b.CostAt(interval)
+	}
+	lo, hi := 1.0, secondsPerYear
+	flo, fhi := f(lo), f(hi)
+	if flo == 0 {
+		return lo
+	}
+	if flo*fhi > 0 {
+		return math.NaN()
+	}
+	for i := 0; i < 100; i++ {
+		mid := math.Sqrt(lo * hi) // bisect in log space
+		if f(mid)*flo > 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return math.Sqrt(lo * hi)
+}

@@ -1,0 +1,63 @@
+package baseline
+
+// Table 2 of the paper estimates how many Purity FA-450 arrays replace
+// published disk-based scale-out key-value deployments. The inputs are
+// public numbers (design targets and peak rates); the arithmetic divides
+// them by one array's capability. We reproduce the paper's rows with the
+// paper's FA-450 figures and, separately, rescale against the simulated
+// array's measured throughput.
+
+// FA450 is the paper's largest array at publication (§2.3).
+var FA450 = struct {
+	PeakIOPS32K float64 // 32 KiB ops/s
+	EffectiveTB float64 // with data reduction
+}{
+	PeakIOPS32K: 200_000,
+	EffectiveTB: 250,
+}
+
+// Deployment is one published scale-out system from Table 2.
+type Deployment struct {
+	Name          string
+	Scale         string // the published figure the estimate is based on
+	Year          int
+	Scope         string
+	Apps          string // "dozens to thousands" of co-tenants, where published
+	Nodes         string
+	OpsPerSec     float64 // 0 when the row is capacity-based
+	PBLow, PBHigh float64 // capacity rows (Spanner)
+	NodesLow      float64 // for the nodes/FA-450 column, where published
+}
+
+// Published reproduces the paper's Table 2 rows.
+var Published = []Deployment{
+	{Name: "PNUTS", Scale: "1.6M op/s (design target)", Year: 2010, Scope: "Data center",
+		Apps: "1000", Nodes: "8", OpsPerSec: 1_600_000, NodesLow: 1000},
+	{Name: "Spanner", Scale: "1-10 PB (design target)", Year: 2010, Scope: "Data center",
+		Apps: "300", Nodes: "10^3-10^4", PBLow: 1, PBHigh: 10, NodesLow: 1000},
+	{Name: "S3", Scale: "1.5M op/s (peak)", Year: 2013, Scope: "Global",
+		Apps: "-", Nodes: "-", OpsPerSec: 1_500_000},
+	{Name: "DynamoDB", Scale: "2.6M op/s (mean)", Year: 2014, Scope: "Region",
+		Apps: "-", Nodes: "-", OpsPerSec: 2_600_000},
+}
+
+// YCSBPerNodeOps is the per-machine throughput of the disk-based key-value
+// stores in the YCSB study the paper cites ([16]): "approximately 1600
+// ops/s per machine in the best case".
+const YCSBPerNodeOps = 1600
+
+// ArraysNeeded returns how many arrays of the given capability cover the
+// deployment, using throughput when published and capacity otherwise.
+func (d Deployment) ArraysNeeded(arrayOps, arrayEffectiveTB float64) (lo, hi float64) {
+	if d.OpsPerSec > 0 {
+		n := d.OpsPerSec / arrayOps
+		return n, n
+	}
+	return d.PBLow * 1000 / arrayEffectiveTB, d.PBHigh * 1000 / arrayEffectiveTB
+}
+
+// ConsolidationRatio returns disk nodes replaced per array: the array's
+// ops rate over the per-node rate of a disk-based store.
+func ConsolidationRatio(arrayOps, perNodeOps float64) float64 {
+	return arrayOps / perNodeOps
+}

@@ -1,0 +1,173 @@
+// Package client is the Go client for the wire protocol — what an
+// application host's initiator would be in a real deployment.
+package client
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"purity/internal/wire"
+)
+
+// Client is a connection to one controller port. Methods are safe for
+// concurrent use (requests serialize on the connection).
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// Dial connects to a server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// call performs one request/response exchange.
+func (c *Client) call(op byte, payload []byte) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := wire.WriteFrame(c.conn, op, payload); err != nil {
+		return nil, err
+	}
+	respOp, resp, err := wire.ReadFrame(c.conn)
+	if err != nil {
+		return nil, err
+	}
+	if respOp != op {
+		return nil, fmt.Errorf("client: response opcode %d for request %d", respOp, op)
+	}
+	return wire.ParseResponse(resp)
+}
+
+// CreateVolume provisions a volume and returns its ID.
+func (c *Client) CreateVolume(name string, sizeBytes int64) (uint64, error) {
+	var e wire.Enc
+	resp, err := c.call(wire.OpCreateVolume, e.Str(name).U64(uint64(sizeBytes)).B)
+	if err != nil {
+		return 0, err
+	}
+	d := wire.Dec{B: resp}
+	return d.U64(), d.Err
+}
+
+// OpenVolume resolves a volume name to (id, size).
+func (c *Client) OpenVolume(name string) (uint64, int64, error) {
+	var e wire.Enc
+	resp, err := c.call(wire.OpOpenVolume, e.Str(name).B)
+	if err != nil {
+		return 0, 0, err
+	}
+	d := wire.Dec{B: resp}
+	id, size := d.U64(), d.U64()
+	return id, int64(size), d.Err
+}
+
+// VolumeInfo is one listing entry.
+type VolumeInfo struct {
+	ID        uint64
+	Name      string
+	SizeBytes int64
+	Snapshot  bool
+}
+
+// ListVolumes returns all volumes and snapshots.
+func (c *Client) ListVolumes() ([]VolumeInfo, error) {
+	resp, err := c.call(wire.OpListVolumes, nil)
+	if err != nil {
+		return nil, err
+	}
+	d := wire.Dec{B: resp}
+	n := d.U64()
+	out := make([]VolumeInfo, 0, n)
+	for i := uint64(0); i < n; i++ {
+		v := VolumeInfo{ID: d.U64(), Name: d.Str()}
+		v.SizeBytes = int64(d.U64())
+		v.Snapshot = d.U64() == 1
+		out = append(out, v)
+	}
+	return out, d.Err
+}
+
+// ReadAt reads n bytes from a volume.
+func (c *Client) ReadAt(vol uint64, off int64, n int) ([]byte, error) {
+	var e wire.Enc
+	resp, err := c.call(wire.OpRead, e.U64(vol).U64(uint64(off)).U64(uint64(n)).B)
+	if err != nil {
+		return nil, err
+	}
+	d := wire.Dec{B: resp}
+	data := d.Bytes()
+	if d.Err != nil {
+		return nil, d.Err
+	}
+	return append([]byte(nil), data...), nil
+}
+
+// WriteAt writes data to a volume.
+func (c *Client) WriteAt(vol uint64, off int64, data []byte) error {
+	var e wire.Enc
+	_, err := c.call(wire.OpWrite, e.U64(vol).U64(uint64(off)).Bytes(data).B)
+	return err
+}
+
+// Snapshot snapshots a volume.
+func (c *Client) Snapshot(vol uint64, name string) (uint64, error) {
+	var e wire.Enc
+	resp, err := c.call(wire.OpSnapshot, e.U64(vol).Str(name).B)
+	if err != nil {
+		return 0, err
+	}
+	d := wire.Dec{B: resp}
+	return d.U64(), d.Err
+}
+
+// Clone clones a snapshot into a new volume.
+func (c *Client) Clone(snap uint64, name string) (uint64, error) {
+	var e wire.Enc
+	resp, err := c.call(wire.OpClone, e.U64(snap).Str(name).B)
+	if err != nil {
+		return 0, err
+	}
+	d := wire.Dec{B: resp}
+	return d.U64(), d.Err
+}
+
+// Delete removes a volume or snapshot.
+func (c *Client) Delete(vol uint64) error {
+	var e wire.Enc
+	_, err := c.call(wire.OpDelete, e.U64(vol).B)
+	return err
+}
+
+// Stats returns the server's formatted statistics.
+func (c *Client) Stats() (string, error) {
+	resp, err := c.call(wire.OpStats, nil)
+	if err != nil {
+		return "", err
+	}
+	d := wire.Dec{B: resp}
+	return d.Str(), d.Err
+}
+
+// Flush checkpoints the array.
+func (c *Client) Flush() error {
+	_, err := c.call(wire.OpFlush, nil)
+	return err
+}
+
+// GC runs a garbage-collection cycle and returns its report text.
+func (c *Client) GC() (string, error) {
+	resp, err := c.call(wire.OpGC, nil)
+	if err != nil {
+		return "", err
+	}
+	d := wire.Dec{B: resp}
+	return d.Str(), d.Err
+}

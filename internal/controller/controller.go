@@ -1,0 +1,189 @@
+// Package controller models Purity's dual-controller high availability
+// (§4.1, §4.3 of the paper). An array has two stateless x86 controllers:
+// the primary serves all traffic; the secondary accepts client connections
+// in active-active fashion but forwards every request to the primary over
+// the internal interconnect. When the primary dies, the secondary recovers
+// the engine state from the shared shelf (boot region + frontier scan +
+// NVRAM replay) and takes over; the paper's hard budget for this is the
+// 30-second client I/O timeout.
+//
+// The primary also asynchronously ships its hot-cache contents to the
+// secondary ("the primary controller asynchronously warms the cache of the
+// secondary"), shrinking post-failover latencies.
+package controller
+
+import (
+	"errors"
+
+	"purity/internal/core"
+	"purity/internal/shelf"
+	"purity/internal/sim"
+)
+
+// Role selects which controller a client request arrives at.
+type Role int
+
+// The two controllers of a pair.
+const (
+	Primary Role = iota
+	Secondary
+)
+
+// Config tunes the pair.
+type Config struct {
+	// InterconnectHop is the one-way internal link latency (InfiniBand in
+	// the paper). Requests via the secondary pay two hops.
+	InterconnectHop sim.Time
+	// DetectionTimeout is how long heartbeat loss takes to declare the
+	// primary dead.
+	DetectionTimeout sim.Time
+	// WarmCache enables shipping the primary's hot cblock list to the
+	// secondary, applied after failover.
+	WarmCache bool
+}
+
+// DefaultConfig mirrors the paper's setup.
+func DefaultConfig() Config {
+	return Config{
+		InterconnectHop:  10 * sim.Microsecond,
+		DetectionTimeout: 2 * sim.Second,
+		WarmCache:        true,
+	}
+}
+
+// ErrUnavailable is returned while no controller holds the array (between
+// primary death and failover completion).
+var ErrUnavailable = errors.New("controller: array unavailable during failover")
+
+// Pair is the two-controller array frontend.
+type Pair struct {
+	cfg      Config
+	arrayCfg core.Config
+	shelf    *shelf.Shelf
+
+	array        *core.Array // live engine, owned by the current primary
+	primaryAlive bool
+	warmList     []core.WarmKey
+	failovers    int
+}
+
+// NewPair formats a fresh array and brings up both controllers.
+func NewPair(cfg Config, arrayCfg core.Config) (*Pair, error) {
+	a, err := core.Format(arrayCfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Pair{
+		cfg:          cfg,
+		arrayCfg:     arrayCfg,
+		shelf:        a.Shelf(),
+		array:        a,
+		primaryAlive: true,
+	}, nil
+}
+
+// Array exposes the live engine (nil while failed over but not recovered).
+func (p *Pair) Array() *core.Array {
+	if !p.primaryAlive {
+		return nil
+	}
+	return p.array
+}
+
+// Failovers reports how many failovers have completed.
+func (p *Pair) Failovers() int { return p.failovers }
+
+// forwardCost returns the latency tax of the chosen entry point: requests
+// through the secondary cross the interconnect twice (§4.1; as a side
+// effect, latencies improve slightly when the secondary fails).
+func (p *Pair) forwardCost(via Role) sim.Time {
+	if via == Secondary {
+		return 2 * p.cfg.InterconnectHop
+	}
+	return 0
+}
+
+func (p *Pair) live() (*core.Array, error) {
+	if !p.primaryAlive || p.array == nil {
+		return nil, ErrUnavailable
+	}
+	return p.array, nil
+}
+
+// WriteAt serves a client write arriving at the given controller.
+func (p *Pair) WriteAt(at sim.Time, via Role, vol core.VolumeID, off int64, data []byte) (sim.Time, error) {
+	a, err := p.live()
+	if err != nil {
+		return at, err
+	}
+	done, err := a.WriteAt(at+p.forwardCost(via)/2, vol, off, data)
+	return done + p.forwardCost(via)/2, err
+}
+
+// ReadAt serves a client read arriving at the given controller.
+func (p *Pair) ReadAt(at sim.Time, via Role, vol core.VolumeID, off int64, n int) ([]byte, sim.Time, error) {
+	a, err := p.live()
+	if err != nil {
+		return nil, at, err
+	}
+	data, done, err := a.ReadAt(at+p.forwardCost(via)/2, vol, off, n)
+	return data, done + p.forwardCost(via)/2, err
+}
+
+// WarmSecondary ships the primary's hot-cache index to the secondary. The
+// paper does this continuously in the background; experiments call it at
+// convenient points.
+func (p *Pair) WarmSecondary() int {
+	a, err := p.live()
+	if err != nil {
+		return 0
+	}
+	p.warmList = a.CacheWarmKeys()
+	return len(p.warmList)
+}
+
+// KillPrimary models a controller failure: the engine's in-memory state is
+// gone. The shelf (SSDs and NVRAM) is dual-ported and survives.
+func (p *Pair) KillPrimary() {
+	p.array = nil
+	p.primaryAlive = false
+}
+
+// FailoverReport describes one failover.
+type FailoverReport struct {
+	Detection sim.Time // heartbeat loss declaration
+	Recovery  core.RecoveryStats
+	Warmed    int      // cblocks pre-loaded from the warm list
+	WarmTime  sim.Time // spent warming, off the critical path
+	Total     sim.Time // detection + recovery (client-visible unavailability)
+}
+
+// Failover runs the secondary's takeover: detection timeout, then engine
+// recovery from the shared shelf. It returns the client-visible
+// unavailability, which the paper keeps well under the 30 s I/O timeout.
+func (p *Pair) Failover(at sim.Time) (FailoverReport, sim.Time, error) {
+	if p.primaryAlive {
+		return FailoverReport{}, at, errors.New("controller: primary still alive")
+	}
+	rep := FailoverReport{Detection: p.cfg.DetectionTimeout}
+	recoverAt := at + p.cfg.DetectionTimeout
+	a, rs, err := core.OpenAt(p.arrayCfg, p.shelf, recoverAt, false)
+	if err != nil {
+		return rep, recoverAt, err
+	}
+	rep.Recovery = rs
+	rep.Total = rep.Detection + rs.TotalTime
+	done := recoverAt + rs.TotalTime
+
+	p.array = a
+	p.primaryAlive = true
+	p.failovers++
+
+	if p.cfg.WarmCache && len(p.warmList) > 0 {
+		warmDone := a.WarmCBlocks(done, p.warmList)
+		rep.Warmed = len(p.warmList)
+		rep.WarmTime = warmDone - done
+		p.warmList = nil
+	}
+	return rep, done, nil
+}

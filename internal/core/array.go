@@ -1,0 +1,456 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"purity/internal/dedup"
+	"purity/internal/elide"
+	"purity/internal/erasure"
+	"purity/internal/frontier"
+	"purity/internal/iosched"
+	"purity/internal/layout"
+	"purity/internal/pyramid"
+	"purity/internal/relation"
+	"purity/internal/shelf"
+	"purity/internal/sim"
+	"purity/internal/telemetry"
+	"purity/internal/tuple"
+)
+
+// debugSegReads dumps context when a segment read fails (diagnostics).
+var debugSegReads = false
+
+// Segment classes: segments are specialized by what they hold, so that GC
+// can treat them differently — the paper segregates deduplicated blocks
+// into their own segments (§4.7) and metadata has different lifetime than
+// user data.
+type segClass int
+
+const (
+	classData segClass = iota
+	classMeta
+	classGC
+	classDedup
+	numClasses
+)
+
+// Array is one Purity storage engine instance. All public methods are safe
+// for concurrent use (a single engine mutex serializes state mutation; the
+// real system shards this across cores, which a simulation gains nothing
+// from).
+type Array struct {
+	cfg   Config
+	shelf *shelf.Shelf
+	coder *erasure.Coder
+
+	mu sync.Mutex
+
+	seqs        *tuple.SeqSource
+	nextMedium  uint64
+	nextVolume  uint64
+	nextSegment uint64
+	epoch       uint64
+
+	pyr    map[uint32]*pyramid.Pyramid
+	elides map[uint32]*elide.Table
+
+	alloc  *layout.Allocator
+	reader *layout.Reader
+	boot   *frontier.BootRegion
+
+	open   [numClasses]*layout.Writer
+	segMap map[layout.SegmentID]layout.SegmentInfo
+	// liveBytes approximates live data per segment (§3.3: materialized
+	// aggregates kept approximately; GC recomputes exactly).
+	liveBytes map[layout.SegmentID]int64
+
+	recent  *dedup.RecentIndex
+	cblocks *cblockCache
+
+	persistedSeq tuple.Seq // highest seq durable in NVRAM
+	opsSinceBG   int
+	bgSinceCkpt  int
+
+	stats Stats
+
+	readTracker *iosched.Tracker
+	cpus        []sim.Time // per-core busyUntil (§4.4's pinned event cores)
+}
+
+// Stats aggregates engine counters. Histograms record simulated latencies.
+type Stats struct {
+	Writes, Reads       int64
+	WriteLatency        *telemetry.Histogram
+	ReadLatency         *telemetry.Histogram
+	Reduction           *telemetry.Reduction
+	SegRead             layout.ReadStats
+	DedupHits           int64
+	DedupMisses         int64
+	InlineDupBlocks     int64
+	GCRuns              int64
+	GCBytesMoved        int64
+	GCSegsReclaimed     int64
+	Checkpoints         int64
+	FrontierWrites      int64
+	CacheHits           int64
+	CacheMisses         int64
+	Flattened           int64
+	HedgedReads         int64
+	SpeculativePromotes int64
+}
+
+func newStats() Stats {
+	return Stats{
+		WriteLatency: telemetry.NewHistogram(),
+		ReadLatency:  telemetry.NewHistogram(),
+		Reduction:    &telemetry.Reduction{},
+	}
+}
+
+// Errors.
+var (
+	ErrNoSuchVolume  = errors.New("core: no such volume")
+	ErrVolumeDeleted = errors.New("core: volume deleted")
+	ErrOutOfRange    = errors.New("core: I/O beyond volume size")
+	ErrUnaligned     = errors.New("core: I/O not sector aligned")
+)
+
+// Format initializes a brand-new array on a fresh shelf and returns it
+// ready for service.
+func Format(cfg Config) (*Array, error) {
+	cfg = cfg.normalize()
+	sh, err := shelf.New(cfg.Shelf)
+	if err != nil {
+		return nil, err
+	}
+	return format(cfg, sh)
+}
+
+func format(cfg Config, sh *shelf.Shelf) (*Array, error) {
+	a, err := newSkeleton(cfg, sh)
+	if err != nil {
+		return nil, err
+	}
+	a.epoch = 1
+	a.nextMedium = 1
+	a.nextVolume = 1
+	a.nextSegment = 1
+	// Seed the frontier and persist the genesis checkpoint.
+	if _, err := a.writeCheckpoint(0, true); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// newSkeleton builds the engine structure with empty state.
+func newSkeleton(cfg Config, sh *shelf.Shelf) (*Array, error) {
+	if err := cfg.Layout.Validate(); err != nil {
+		return nil, err
+	}
+	coder, err := erasure.New(cfg.Layout.DataShards, cfg.Layout.ParityShards)
+	if err != nil {
+		return nil, err
+	}
+	caps := make([]int64, sh.NumDrives())
+	for i := range caps {
+		caps[i] = sh.Drive(i).Capacity()
+	}
+	alloc, err := layout.NewAllocator(cfg.Layout, caps)
+	if err != nil {
+		return nil, err
+	}
+	a := &Array{
+		cfg:         cfg,
+		shelf:       sh,
+		coder:       coder,
+		seqs:        tuple.NewSeqSource(0),
+		pyr:         make(map[uint32]*pyramid.Pyramid),
+		elides:      make(map[uint32]*elide.Table),
+		alloc:       alloc,
+		reader:      layout.NewReader(cfg.Layout, sh.Drives(), coder),
+		boot:        frontier.NewBootRegion(cfg.Layout, sh.Drives()),
+		segMap:      make(map[layout.SegmentID]layout.SegmentInfo),
+		liveBytes:   make(map[layout.SegmentID]int64),
+		recent:      dedup.NewRecentIndex(cfg.RecentIndexSize),
+		cblocks:     newCBlockCache(cfg.CBlockCacheEntries),
+		stats:       newStats(),
+		readTracker: iosched.NewTracker(1024),
+		cpus:        make([]sim.Time, cfg.CPUCores),
+	}
+	for _, id := range []uint32{
+		relation.IDMediums, relation.IDAddrs, relation.IDDedup,
+		relation.IDSegments, relation.IDSegmentAUs, relation.IDVolumes, relation.IDElide,
+	} {
+		schema, _ := relation.SchemaFor(id)
+		et := elide.NewTable()
+		a.elides[id] = et
+		cfg := pyramid.Config{
+			ID:     id,
+			Name:   fmt.Sprintf("rel%d", id),
+			Schema: schema,
+		}
+		switch id {
+		case relation.IDAddrs:
+			// An older address entry stays live until newer same-key
+			// entries cover its whole sector range (a shorter overwrite
+			// leaves the old entry's tail visible).
+			cfg.Shadowed = func(older tuple.Fact, keptNewer []tuple.Fact) bool {
+				oldEnd := older.Cols[1] + older.Cols[6] // Sector + Sectors
+				for _, n := range keptNewer {
+					if n.Cols[1]+n.Cols[6] >= oldEnd {
+						return true
+					}
+				}
+				return false
+			}
+		case relation.IDElide:
+			// Elide records are never removed (§4.10); range collapse in
+			// the in-memory table bounds their count, not merges.
+			cfg.Shadowed = func(tuple.Fact, []tuple.Fact) bool { return false }
+		}
+		p, err := pyramid.New(cfg, (*pageStore)(a), et)
+		if err != nil {
+			return nil, err
+		}
+		a.pyr[id] = p
+	}
+	return a, nil
+}
+
+// relationIDs returns the relation IDs in a fixed order, so background
+// work (flushes, merges, checkpoints) is deterministic run to run.
+func (a *Array) relationIDs() []uint32 {
+	ids := make([]uint32, 0, len(a.pyr))
+	for id := range a.pyr {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Shelf exposes the underlying shelf for fault injection in tests and
+// experiments.
+func (a *Array) Shelf() *shelf.Shelf { return a.shelf }
+
+// Config returns the array's configuration after normalization.
+func (a *Array) Config() Config { return a.cfg }
+
+// failedDrive reports whether a drive is offline, for the allocator.
+func (a *Array) failedDrive(d int) bool { return a.shelf.Drive(d).Failed() }
+
+// cpuLocked occupies the least-busy event core for `cost`, returning when
+// the op's CPU work finishes. Requests queue behind busy cores — the
+// engine's throughput ceiling is computational, as §4 observes of the real
+// system. Caller holds mu.
+func (a *Array) cpuLocked(at sim.Time, cost sim.Time) sim.Time {
+	best := 0
+	for i := 1; i < len(a.cpus); i++ {
+		if a.cpus[i] < a.cpus[best] {
+			best = i
+		}
+	}
+	start := sim.Max(at, a.cpus[best])
+	done := start + cost
+	a.cpus[best] = done
+	return done
+}
+
+// ensureOpenLocked returns the open segment writer for a class, allocating
+// a new segment (and refilling the frontier through the boot region when
+// needed). Caller holds mu.
+func (a *Array) ensureOpenLocked(at sim.Time, class segClass) (*layout.Writer, sim.Time, error) {
+	if w := a.open[class]; w != nil {
+		return w, at, nil
+	}
+	done := at
+	aus, err := a.alloc.AllocateSegment(a.failedDrive)
+	if err == layout.ErrNeedFrontier && a.alloc.PromoteSpeculative() {
+		// The speculative set was persisted with the last checkpoint, so
+		// extending the frontier from it costs no boot-region write (§4.3).
+		a.stats.SpeculativePromotes++
+		aus, err = a.alloc.AllocateSegment(a.failedDrive)
+	}
+	if err == layout.ErrNeedFrontier {
+		a.alloc.RefillFrontier(a.cfg.FrontierBatch)
+		// Persisting the frontier before using it is what bounds the
+		// recovery scan (§4.3). This is the "<1% of writes" path.
+		d, werr := a.writeFrontierLocked(done)
+		if werr != nil {
+			return nil, d, werr
+		}
+		done = d
+		aus, err = a.alloc.AllocateSegment(a.failedDrive)
+	}
+	if err != nil {
+		return nil, done, err
+	}
+	id := layout.SegmentID(a.nextSegment)
+	a.nextSegment++
+	w, err := layout.NewWriter(a.cfg.Layout, a.shelf.Drives(), a.coder, id, aus)
+	if err != nil {
+		return nil, done, err
+	}
+	a.open[class] = w
+	a.segMap[id] = w.Info()
+
+	// Record the segment's existence and placement as facts.
+	facts := []tuple.Fact{relation.SegmentRow{
+		Segment:    uint64(id),
+		State:      relation.SegmentOpen,
+		TotalBytes: uint64(a.cfg.Layout.SegmentLogicalSize()),
+	}.Fact(a.seqs.Next())}
+	a.pyr[relation.IDSegments].Insert(facts)
+	var auFacts []tuple.Fact
+	for shard, au := range aus {
+		auFacts = append(auFacts, relation.SegmentAURow{
+			Segment: uint64(id), Shard: uint64(shard),
+			Drive: uint64(au.Drive), AUIndex: uint64(au.Index),
+		}.Fact(a.seqs.Next()))
+	}
+	a.pyr[relation.IDSegmentAUs].Insert(auFacts)
+	return w, done, nil
+}
+
+// sealLocked seals an open segment and rotates it out. Caller holds mu.
+func (a *Array) sealLocked(at sim.Time, class segClass) (sim.Time, error) {
+	w := a.open[class]
+	if w == nil {
+		return at, nil
+	}
+	info, done, err := w.Seal(at)
+	if err != nil {
+		return done, err
+	}
+	a.open[class] = nil
+	a.segMap[info.ID] = info
+	a.pyr[relation.IDSegments].Insert([]tuple.Fact{relation.SegmentRow{
+		Segment:    uint64(info.ID),
+		State:      relation.SegmentSealed,
+		Stripes:    uint64(info.Stripes),
+		TotalBytes: uint64(a.cfg.Layout.SegmentLogicalSize()),
+		LiveBytes:  uint64(a.liveBytes[info.ID]),
+	}.Fact(a.seqs.Next())})
+	return done, nil
+}
+
+// appendDataLocked appends a blob to a class's segment, rotating segments
+// as they fill. Returns the segment and logical offset. Caller holds mu.
+func (a *Array) appendDataLocked(at sim.Time, class segClass, b []byte) (layout.SegmentID, int64, sim.Time, error) {
+	done := at
+	for attempt := 0; attempt < 3; attempt++ {
+		w, d, err := a.ensureOpenLocked(done, class)
+		done = d
+		if err != nil {
+			return 0, 0, done, err
+		}
+		off, d2, err := w.AppendData(done, b)
+		done = d2
+		a.segMap[w.Info().ID] = w.Info()
+		if err == nil {
+			return w.Info().ID, off, done, nil
+		}
+		if err != layout.ErrSegmentFull {
+			return 0, 0, done, err
+		}
+		if done, err = a.sealLocked(done, class); err != nil {
+			return 0, 0, done, err
+		}
+	}
+	return 0, 0, done, errors.New("core: could not place data after segment rotation")
+}
+
+// appendLogLocked appends a log record (patch descriptor) to the metadata
+// segment. Caller holds mu.
+func (a *Array) appendLogLocked(at sim.Time, rec []byte, lo, hi tuple.Seq) (sim.Time, error) {
+	done := at
+	for attempt := 0; attempt < 3; attempt++ {
+		w, d, err := a.ensureOpenLocked(done, classMeta)
+		done = d
+		if err != nil {
+			return done, err
+		}
+		d2, err := w.AppendLog(done, rec, lo, hi)
+		done = d2
+		a.segMap[w.Info().ID] = w.Info()
+		if err == nil {
+			return done, nil
+		}
+		if err != layout.ErrSegmentFull {
+			return done, err
+		}
+		if done, err = a.sealLocked(done, classMeta); err != nil {
+			return done, err
+		}
+	}
+	return done, errors.New("core: could not place log record")
+}
+
+// segInfoLocked returns the freshest SegmentInfo for a segment, preferring
+// open writers (whose stripe counts advance). Caller holds mu.
+func (a *Array) segInfoLocked(id layout.SegmentID) (layout.SegmentInfo, bool) {
+	for _, w := range a.open {
+		if w != nil && w.Info().ID == id {
+			return w.Info(), true
+		}
+	}
+	info, ok := a.segMap[id]
+	return info, ok
+}
+
+// readSegmentLocked reads a byte range of a segment: pending segio buffers
+// first, then the drives (with busy avoidance per policy). Caller holds mu.
+func (a *Array) readSegmentLocked(at sim.Time, id layout.SegmentID, off int64, n int) ([]byte, sim.Time, error) {
+	for _, w := range a.open {
+		if w != nil && w.Info().ID == id {
+			if b, ok := w.ReadPending(off, n); ok {
+				return b, at, nil
+			}
+		}
+	}
+	info, ok := a.segInfoLocked(id)
+	if !ok {
+		return nil, at, fmt.Errorf("core: unknown segment %d", id)
+	}
+	b, done, rstats, err := a.reader.ReadRange(at, info, off, n, a.cfg.ReadPolicy.AvoidBusy)
+	a.stats.SegRead.Add(rstats)
+	if err != nil && debugSegReads {
+		fmt.Printf("DEBUG segread fail: seg=%d off=%d n=%d info=%+v\n", id, off, n, info)
+		for relID, p := range a.pyr {
+			for pi, patch := range p.Patches() {
+				for _, pg := range patch.Pages {
+					if pg.Ref.Segment == uint64(id) {
+						fmt.Printf("DEBUG rel=%d patch[%d] seq[%d,%d] references page %+v\n", relID, pi, patch.SeqLo, patch.SeqHi, pg.Ref)
+					}
+				}
+			}
+		}
+	}
+	return b, done, err
+}
+
+// pageStore adapts the array to the pyramid.PageStore interface. Metadata
+// pages are segment data in the classMeta segments; patch descriptors are
+// segio log records.
+type pageStore Array
+
+func (s *pageStore) WritePage(at sim.Time, page []byte) (pyramid.Ref, sim.Time, error) {
+	a := (*Array)(s)
+	seg, off, done, err := a.appendDataLocked(at, classMeta, page)
+	if err != nil {
+		return pyramid.Ref{}, done, err
+	}
+	return pyramid.Ref{Segment: uint64(seg), Off: off, Len: int32(len(page))}, done, nil
+}
+
+func (s *pageStore) WriteDescriptor(at sim.Time, desc []byte, lo, hi uint64) (sim.Time, error) {
+	a := (*Array)(s)
+	return a.appendLogLocked(at, desc, tuple.Seq(lo), tuple.Seq(hi))
+}
+
+func (s *pageStore) ReadPage(at sim.Time, ref pyramid.Ref) ([]byte, sim.Time, error) {
+	a := (*Array)(s)
+	return a.readSegmentLocked(at, layout.SegmentID(ref.Segment), ref.Off, int(ref.Len))
+}

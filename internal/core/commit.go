@@ -1,0 +1,315 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"purity/internal/frontier"
+	"purity/internal/layout"
+	"purity/internal/pyramid"
+	"purity/internal/relation"
+	"purity/internal/sim"
+	"purity/internal/tuple"
+)
+
+// NVRAM record kinds. Commits are expressed as immutable facts flowing
+// through the system (§4.2); data writes additionally carry their payloads
+// so a redo never depends on unflushed segments.
+const (
+	recFacts byte = 1 // facts for one relation
+	recWrite byte = 2 // a data write: facts + cblock payloads
+)
+
+// writeChunk is one cblock's worth of a committed write: the address fact,
+// any sampled dedup facts, and — for literal (non-deduplicated) chunks —
+// the raw sector payload for redo.
+type writeChunk struct {
+	addr    tuple.Fact
+	dedup   []tuple.Fact
+	payload []byte // nil for dedup references
+}
+
+// encodeFactsRecord frames a recFacts record.
+func encodeFactsRecord(relID uint32, facts []tuple.Fact) []byte {
+	schema, _ := relation.SchemaFor(relID)
+	b := []byte{recFacts}
+	b = binary.LittleEndian.AppendUint32(b, relID)
+	return tuple.AppendBatch(b, schema, facts)
+}
+
+// decodeFactsRecord parses a recFacts record (after the kind byte).
+func decodeFactsRecord(b []byte) (uint32, []tuple.Fact, error) {
+	if len(b) < 4 {
+		return 0, nil, errors.New("core: short facts record")
+	}
+	relID := binary.LittleEndian.Uint32(b)
+	schema, ok := relation.SchemaFor(relID)
+	if !ok {
+		return 0, nil, fmt.Errorf("core: facts record for unknown relation %d", relID)
+	}
+	facts, _, err := tuple.DecodeBatch(b[4:], schema)
+	return relID, facts, err
+}
+
+// encodeWriteRecord frames a recWrite record.
+func encodeWriteRecord(chunks []writeChunk) []byte {
+	b := []byte{recWrite}
+	b = binary.AppendUvarint(b, uint64(len(chunks)))
+	for _, ch := range chunks {
+		b = tuple.Append(b, relation.AddrsSchema, ch.addr)
+		b = tuple.AppendBatch(b, relation.DedupSchema, ch.dedup)
+		b = binary.AppendUvarint(b, uint64(len(ch.payload)))
+		b = append(b, ch.payload...)
+	}
+	return b
+}
+
+// decodeWriteRecord parses a recWrite record (after the kind byte).
+func decodeWriteRecord(b []byte) ([]writeChunk, error) {
+	count, n := binary.Uvarint(b)
+	if n <= 0 {
+		return nil, errors.New("core: short write record")
+	}
+	pos := n
+	chunks := make([]writeChunk, 0, count)
+	for i := uint64(0); i < count; i++ {
+		addr, n, err := tuple.Decode(b[pos:], relation.AddrsSchema)
+		if err != nil {
+			return nil, err
+		}
+		pos += n
+		dd, n, err := tuple.DecodeBatch(b[pos:], relation.DedupSchema)
+		if err != nil {
+			return nil, err
+		}
+		pos += n
+		plen, n := binary.Uvarint(b[pos:])
+		if n <= 0 || pos+n+int(plen) > len(b) {
+			return nil, errors.New("core: torn write record")
+		}
+		pos += n
+		var payload []byte
+		if plen > 0 {
+			payload = append([]byte(nil), b[pos:pos+int(plen)]...)
+			pos += int(plen)
+		}
+		chunks = append(chunks, writeChunk{addr: addr, dedup: dd, payload: payload})
+	}
+	return chunks, nil
+}
+
+// nvramAppendLocked mirrors a record to every NVRAM device; the commit is
+// durable when the slowest device finishes (§4.1's redundant NVRAM). When
+// the log fills, the engine checkpoints to release it and retries once.
+func (a *Array) nvramAppendLocked(at sim.Time, rec []byte) (sim.Time, error) {
+	done, err := a.nvramAppendOnce(at, rec)
+	if err == nil {
+		return done, nil
+	}
+	// Full: flush everything and trim, then retry.
+	if done, err = a.checkpointLocked(done); err != nil {
+		return done, err
+	}
+	return a.nvramAppendOnce(done, rec)
+}
+
+func (a *Array) nvramAppendOnce(at sim.Time, rec []byte) (sim.Time, error) {
+	done := at
+	for i := 0; i < a.shelf.NumNVRAM(); i++ {
+		_, d, err := a.shelf.NVRAM(i).Append(at, rec)
+		if err != nil {
+			return done, err
+		}
+		if d > done {
+			done = d
+		}
+	}
+	return done, nil
+}
+
+// commitFactsLocked persists facts for one relation through NVRAM and
+// inserts them into the relation's pyramid. Caller holds mu.
+func (a *Array) commitFactsLocked(at sim.Time, relID uint32, facts []tuple.Fact) (sim.Time, error) {
+	if len(facts) == 0 {
+		return at, nil
+	}
+	done, err := a.nvramAppendLocked(at, encodeFactsRecord(relID, facts))
+	if err != nil {
+		return done, err
+	}
+	a.applyFactsLocked(relID, facts)
+	a.persistedSeq = a.seqs.Current()
+	return done, nil
+}
+
+// applyFactsLocked inserts facts into a pyramid, materializing elide
+// predicates into their in-memory tables as a side effect. Used by both
+// the commit path and NVRAM replay.
+func (a *Array) applyFactsLocked(relID uint32, facts []tuple.Fact) {
+	a.pyr[relID].Insert(facts)
+	if relID == relation.IDElide {
+		for _, f := range facts {
+			a.applyElideFact(f)
+		}
+	}
+}
+
+// maybeBackgroundLocked runs periodic maintenance: pyramid flushes once
+// memtables grow, merges toward the patch target, and periodic full
+// checkpoints. Called with mu held after every client op.
+func (a *Array) maybeBackgroundLocked(at sim.Time) (sim.Time, error) {
+	a.opsSinceBG++
+	if a.opsSinceBG < a.cfg.BackgroundEvery {
+		return at, nil
+	}
+	a.opsSinceBG = 0
+	done := at
+	for _, id := range a.relationIDs() {
+		p := a.pyr[id]
+		if p.MemRows() >= a.cfg.MemtableFlushRows {
+			d, err := p.Flush(done, a.persistedSeq)
+			if err != nil {
+				return d, err
+			}
+			done = d
+		}
+		d, err := p.Maintain(done, a.cfg.MaxPatches)
+		if err != nil {
+			return d, err
+		}
+		done = d
+	}
+	a.bgSinceCkpt++
+	if a.bgSinceCkpt >= a.cfg.CheckpointEvery {
+		a.bgSinceCkpt = 0
+		return a.checkpointLocked(done)
+	}
+	return done, nil
+}
+
+// checkpointLocked makes everything durable and trims the NVRAM log: data
+// segios flush, pyramids flush and merge, the boot record is rewritten, and
+// the whole NVRAM log is released (Figure 4's "trims the DRAM and NVRAM").
+func (a *Array) checkpointLocked(at sim.Time) (sim.Time, error) {
+	// 1. Data durability: flush open segios of data-bearing classes.
+	done, err := a.flushOpenSegiosLocked(at)
+	if err != nil {
+		return done, err
+	}
+	// 2. Index durability: flush every pyramid through the watermark, then
+	// merge toward the patch target.
+	for _, id := range a.relationIDs() {
+		p := a.pyr[id]
+		d, err := p.Flush(done, a.persistedSeq)
+		if err != nil {
+			return d, err
+		}
+		done = d
+		if d, err = p.Maintain(done, a.cfg.MaxPatches); err != nil {
+			return d, err
+		}
+		done = d
+	}
+	// 3. The meta segio gained pages and descriptors in step 2: flush it.
+	if done, err = a.flushOpenSegiosLocked(done); err != nil {
+		return done, err
+	}
+	// 4. Boot record.
+	d, err := a.writeCheckpoint(done, false)
+	if err != nil {
+		return d, err
+	}
+	done = d
+	// 5. Everything referenced by the checkpoint is durable: release NVRAM.
+	for i := 0; i < a.shelf.NumNVRAM(); i++ {
+		nv := a.shelf.NVRAM(i)
+		if err := nv.Release(nv.Head()); err != nil {
+			return done, err
+		}
+	}
+	a.stats.Checkpoints++
+	return done, nil
+}
+
+// flushOpenSegiosLocked flushes every open segio so everything written to
+// segments so far is durable, and refreshes the segment map. Caller holds
+// mu.
+func (a *Array) flushOpenSegiosLocked(at sim.Time) (sim.Time, error) {
+	done := at
+	for class := segClass(0); class < numClasses; class++ {
+		if w := a.open[class]; w != nil {
+			d, err := w.Flush(done)
+			if err != nil {
+				return d, err
+			}
+			done = d
+			a.segMap[w.Info().ID] = w.Info()
+		}
+	}
+	return done, nil
+}
+
+// writeFrontierLocked persists a lightweight checkpoint so a just-refilled
+// frontier is durable before the allocator hands out its AUs. It skips the
+// pyramid flushing and NVRAM trim of a full checkpoint — recovery still has
+// NVRAM — but it must flush open segios first: the checkpoint's patch
+// catalogs reference pages that would otherwise be sitting in an unflushed
+// segio, and a crash would leave those patches dangling.
+func (a *Array) writeFrontierLocked(at sim.Time) (sim.Time, error) {
+	done, err := a.flushOpenSegiosLocked(at)
+	if err != nil {
+		return done, err
+	}
+	if done, err = a.writeCheckpoint(done, false); err != nil {
+		return done, err
+	}
+	a.stats.FrontierWrites++
+	return done, nil
+}
+
+// writeCheckpoint serializes current state into the boot region. The
+// frontier is topped up first, so the persisted record always carries a
+// forward allocation window (the paper's speculative sets exist for the
+// same reason: fewer boot-region rewrites).
+func (a *Array) writeCheckpoint(at sim.Time, genesis bool) (sim.Time, error) {
+	if n := a.alloc.FrontierSize(); n < a.cfg.FrontierBatch/2 || genesis {
+		a.alloc.RefillFrontier(a.cfg.FrontierBatch - n)
+	}
+	if a.alloc.SpeculativeSize() == 0 {
+		a.alloc.RefillSpeculative(a.cfg.FrontierBatch)
+	}
+	a.epoch++
+	ckpt := &frontier.Checkpoint{
+		Epoch:        a.epoch,
+		SeqWatermark: a.persistedSeq,
+		NextMedium:   a.nextMedium,
+		NextVolume:   a.nextVolume,
+		NextSegment:  a.nextSegment,
+		Frontier:     a.alloc.Frontier(),
+		Speculative:  a.alloc.Speculative(),
+	}
+	// segMap entries for open segments are refreshed on every append, so
+	// the map is current. Fixed ID order keeps checkpoints byte-for-byte
+	// deterministic.
+	for _, w := range a.open {
+		if w != nil {
+			a.segMap[w.Info().ID] = w.Info()
+		}
+	}
+	segIDs := make([]layout.SegmentID, 0, len(a.segMap))
+	for id := range a.segMap {
+		segIDs = append(segIDs, id)
+	}
+	sort.Slice(segIDs, func(i, j int) bool { return segIDs[i] < segIDs[j] })
+	for _, id := range segIDs {
+		ckpt.Segments = append(ckpt.Segments, a.segMap[id])
+	}
+	for _, relID := range a.relationIDs() {
+		for _, patch := range a.pyr[relID].Patches() {
+			ckpt.Patches = append(ckpt.Patches, pyramid.MarshalPatch(relID, patch))
+		}
+	}
+	return a.boot.Write(at, ckpt)
+}

@@ -1,0 +1,43 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"purity/internal/sim"
+)
+
+// TestChurnStepwise is a diagnostic variant of the background-churn test
+// that validates the whole model after every write, to pinpoint the first
+// operation that breaks.
+func TestChurnStepwise(t *testing.T) {
+	cfg := TestConfig()
+	cfg.BackgroundEvery = 16
+	cfg.MemtableFlushRows = 64
+	cfg.CheckpointEvery = 2
+	a, err := Format(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vol := mustCreate(t, a, "busy", 4<<20)
+	model := make([]byte, 2<<20)
+	r := sim.NewRand(5)
+	for i := 0; i < 400; i++ {
+		off := int64(r.Intn(4000)) * 512
+		n := (r.Intn(32) + 1) * 512
+		if off+int64(n) > int64(len(model)) {
+			continue
+		}
+		data := pattern(uint64(i)+1000, n)
+		copy(model[off:], data)
+		mustWrite(t, a, vol, off, data)
+		got := mustRead(t, a, vol, 0, len(model))
+		if !bytes.Equal(got, model) {
+			for j := range model {
+				if got[j] != model[j] {
+					t.Fatalf("op %d (wrote [%d,+%d)): first mismatch at byte %d (sector %d)", i, off, n, j, j/512)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,587 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"purity/internal/layout"
+	"purity/internal/medium"
+	"purity/internal/relation"
+	"purity/internal/sim"
+	"purity/internal/tuple"
+)
+
+// GCReport summarizes one garbage-collection run.
+type GCReport struct {
+	SegmentsExamined  int
+	SegmentsReclaimed int
+	BytesMoved        int64
+	CBlocksMoved      int
+	MediumsElided     int
+	MediumsFlattened  int
+	LiveBytesTotal    int64
+}
+
+// addrRef is one address-map reference to a cblock.
+type addrRef struct {
+	medium, sector, inner, sectors, flags uint64
+}
+
+// cblockRefs aggregates the live references to one cblock.
+type cblockRefs struct {
+	physLen uint64
+	refs    []addrRef
+}
+
+// RunGC performs one full garbage-collection cycle (§4.5, §4.7, §4.10):
+//
+//  1. Elide mediums no longer reachable from any live volume or snapshot.
+//  2. Recompute exact per-segment liveness from the address map (fixing up
+//     the approximate counters, §3.3).
+//  3. Evacuate sealed segments under the live threshold: live cblocks move
+//     to fresh segments — dedup-shared cblocks segregated into their own
+//     class — and the old segment's AUs are erased and freed.
+//  4. Flatten medium chains deeper than two hops so reads never touch more
+//     than three cblocks (§4.6).
+//
+// Debug knobs for fault isolation in tests.
+var (
+	gcSkipElide    = false
+	gcSkipEvacuate = false
+	gcSkipFlatten  = false
+)
+
+func (a *Array) RunGC(at sim.Time) (GCReport, sim.Time, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var rep GCReport
+	done := at
+
+	if !gcSkipElide {
+		d, err := a.elideUnreachableMediumsLocked(done, &rep)
+		if err != nil {
+			return rep, d, err
+		}
+		done = d
+	}
+
+	live, d2, err := a.computeLivenessLocked(done)
+	d := d2
+	if err != nil {
+		return rep, d, err
+	}
+	done = d
+	// Fix up the approximations with the recomputed truth.
+	for id := range a.liveBytes {
+		a.liveBytes[id] = 0
+	}
+	for seg, blocks := range live {
+		var sum int64
+		for _, c := range blocks {
+			sum += int64(c.physLen)
+		}
+		a.liveBytes[seg] = sum
+		rep.LiveBytesTotal += sum
+	}
+
+	// Metadata liveness: segments holding pyramid patch pages are live via
+	// the patch catalogs, not the address map. They become reclaimable
+	// only after merges supersede every patch that points into them.
+	metaLive := map[layout.SegmentID]int64{}
+	for _, relID := range a.relationIDs() {
+		for _, patch := range a.pyr[relID].Patches() {
+			for _, pg := range patch.Pages {
+				metaLive[layout.SegmentID(pg.Ref.Segment)] += int64(pg.Ref.Len)
+			}
+		}
+	}
+	for id, bytes := range metaLive {
+		a.liveBytes[id] += bytes
+		rep.LiveBytesTotal += bytes
+	}
+
+	// Candidates: sealed, below threshold, not currently open, and holding
+	// no live metadata.
+	openIDs := map[layout.SegmentID]bool{}
+	for _, w := range a.open {
+		if w != nil {
+			openIDs[w.Info().ID] = true
+		}
+	}
+	var candidates []layout.SegmentID
+	for id, info := range a.segMap {
+		if openIDs[id] || !info.Sealed || metaLive[id] > 0 {
+			continue
+		}
+		rep.SegmentsExamined++
+		capacity := int64(info.Stripes) * int64(a.cfg.Layout.StripeCapacity())
+		if capacity <= 0 {
+			continue
+		}
+		if float64(a.liveBytes[id]) < a.cfg.GCLiveThreshold*float64(capacity) {
+			candidates = append(candidates, id)
+		}
+	}
+	sort.Slice(candidates, func(i, j int) bool {
+		if a.liveBytes[candidates[i]] != a.liveBytes[candidates[j]] {
+			return a.liveBytes[candidates[i]] < a.liveBytes[candidates[j]]
+		}
+		return candidates[i] < candidates[j]
+	})
+
+	if gcSkipEvacuate {
+		candidates = nil
+	}
+	for _, id := range candidates {
+		d, err := a.evacuateSegmentLocked(done, id, live[id], &rep)
+		if err != nil {
+			return rep, d, err
+		}
+		done = d
+	}
+
+	if !gcSkipFlatten {
+		d, err := a.flattenDeepMediumsLocked(done, &rep)
+		if err != nil {
+			return rep, d, err
+		}
+		done = d
+	}
+
+	a.stats.GCRuns++
+	a.stats.GCSegsReclaimed += int64(rep.SegmentsReclaimed)
+	a.stats.GCBytesMoved += rep.BytesMoved
+	return rep, done, nil
+}
+
+// computeLivenessLocked computes, for every medium, the per-sector *winner*
+// extents — address entries may overlap, and for each sector only the
+// highest-sequence covering entry is visible. Only winner extents are live;
+// evacuation rewrites exactly them (with new sequence numbers), so shadowed
+// old data can never be resurrected. Caller holds mu.
+func (a *Array) computeLivenessLocked(at sim.Time) (map[layout.SegmentID]map[uint64]*cblockRefs, sim.Time, error) {
+	type entry struct {
+		start, end uint64 // [start, end) sectors
+		seq        tuple.Seq
+		row        relation.AddrRow
+	}
+	perMedium := make(map[uint64][]entry)
+	done, err := a.pyr[relation.IDAddrs].ScanVersions(at, nil, nil, func(f tuple.Fact) bool {
+		r := relation.AddrFromFact(f)
+		if !a.addrValidLocked(r) {
+			return true // stale post-crash reference: logically retracted
+		}
+		perMedium[r.Medium] = append(perMedium[r.Medium], entry{
+			start: r.Sector, end: r.Sector + r.Sectors, seq: f.Seq, row: r,
+		})
+		return true
+	})
+	if err != nil {
+		return nil, done, err
+	}
+
+	live := make(map[layout.SegmentID]map[uint64]*cblockRefs)
+	addRef := func(r relation.AddrRow, start, count uint64) {
+		seg := layout.SegmentID(r.Segment)
+		blocks := live[seg]
+		if blocks == nil {
+			blocks = make(map[uint64]*cblockRefs)
+			live[seg] = blocks
+		}
+		c := blocks[r.SegOff]
+		if c == nil {
+			c = &cblockRefs{physLen: r.PhysLen}
+			blocks[r.SegOff] = c
+		}
+		c.refs = append(c.refs, addrRef{
+			medium: r.Medium, sector: start,
+			inner:   r.Inner + (start - r.Sector),
+			sectors: count, flags: r.Flags,
+		})
+	}
+
+	mediums := make([]uint64, 0, len(perMedium))
+	for m := range perMedium {
+		mediums = append(mediums, m)
+	}
+	sort.Slice(mediums, func(i, j int) bool { return mediums[i] < mediums[j] })
+	for _, m := range mediums {
+		entries := perMedium[m]
+		// Sweep: at every boundary the winner may change; between
+		// boundaries it is the max-seq covering entry.
+		boundaries := make([]uint64, 0, 2*len(entries))
+		for _, e := range entries {
+			boundaries = append(boundaries, e.start, e.end)
+		}
+		sort.Slice(boundaries, func(i, j int) bool { return boundaries[i] < boundaries[j] })
+		boundaries = dedupUint64(boundaries)
+		for bi := 0; bi < len(boundaries)-1; bi++ {
+			lo, hi := boundaries[bi], boundaries[bi+1]
+			var winner *entry
+			for i := range entries {
+				e := &entries[i]
+				if e.start <= lo && e.end >= hi {
+					if winner == nil || e.seq > winner.seq {
+						winner = e
+					}
+				}
+			}
+			if winner != nil {
+				addRef(winner.row, lo, hi-lo)
+			}
+		}
+	}
+	return live, done, nil
+}
+
+func dedupUint64(v []uint64) []uint64 {
+	out := v[:0]
+	for i, x := range v {
+		if i == 0 || x != v[i-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// evacuateSegmentLocked moves a segment's live cblocks out, then erases and
+// frees its AUs. Caller holds mu.
+func (a *Array) evacuateSegmentLocked(at sim.Time, id layout.SegmentID, blocks map[uint64]*cblockRefs, rep *GCReport) (sim.Time, error) {
+	done := at
+	var newFacts []tuple.Fact
+
+	// Stable move order keeps runs deterministic.
+	offs := make([]uint64, 0, len(blocks))
+	for off := range blocks {
+		offs = append(offs, off)
+	}
+	sort.Slice(offs, func(i, j int) bool { return offs[i] < offs[j] })
+
+	touched := map[segClass]bool{}
+	for _, off := range offs {
+		c := blocks[off]
+		frame, d, err := a.readSegmentLocked(done, id, int64(off), int(c.physLen))
+		done = d
+		if err != nil {
+			return done, fmt.Errorf("core: gc read of segment %d: %w", id, err)
+		}
+		// Segregate cblocks with multiple references or dedup references:
+		// they are less likely to die together with ordinary data (§4.7).
+		class := classGC
+		if len(c.refs) > 1 {
+			class = classDedup
+		} else {
+			for _, r := range c.refs {
+				if r.flags&relation.AddrFlagDedup != 0 {
+					class = classDedup
+				}
+			}
+		}
+		newSeg, newOff, d2, err := a.appendDataLocked(done, class, frame)
+		done = d2
+		if err != nil {
+			return done, err
+		}
+		touched[class] = true
+		a.liveBytes[newSeg] += int64(c.physLen)
+		rep.BytesMoved += int64(c.physLen)
+		rep.CBlocksMoved++
+		for _, r := range c.refs {
+			newFacts = append(newFacts, relation.AddrRow{
+				Medium: r.medium, Sector: r.sector,
+				Segment: uint64(newSeg), SegOff: uint64(newOff), PhysLen: c.physLen,
+				Inner: r.inner, Sectors: r.sectors, Flags: r.flags,
+			}.Fact(a.seqs.Next()))
+		}
+	}
+
+	// Seal the destination segments before committing facts that reference
+	// them: sealed segments are rediscoverable after a crash (AU trailers,
+	// frontier scan), so the redirects never dangle. The unused remainder
+	// of each destination is the price of crash safety.
+	for class := segClass(0); class < numClasses; class++ {
+		if !touched[class] {
+			continue
+		}
+		d, err := a.sealLocked(done, class)
+		if err != nil {
+			return d, err
+		}
+		done = d
+	}
+	for base := 0; base < len(newFacts); base += 512 {
+		end := base + 512
+		if end > len(newFacts) {
+			end = len(newFacts)
+		}
+		d, err := a.commitFactsLocked(done, relation.IDAddrs, newFacts[base:end])
+		if err != nil {
+			return d, err
+		}
+		done = d
+	}
+
+	// Retire the segment: dead fact, erase, free.
+	d, err := a.commitFactsLocked(done, relation.IDSegments, []tuple.Fact{relation.SegmentRow{
+		Segment: uint64(id), State: relation.SegmentDead,
+	}.Fact(a.seqs.Next())})
+	if err != nil {
+		return d, err
+	}
+	done = d
+	info := a.segMap[id]
+	for _, au := range info.AUs {
+		drive := a.shelf.Drive(au.Drive)
+		if drive.Failed() {
+			continue
+		}
+		if d, err := drive.Erase(done, au.Offset(a.cfg.Layout)); err == nil && d > done {
+			done = d
+		}
+	}
+	a.alloc.Free(info.AUs)
+	delete(a.segMap, id)
+	delete(a.liveBytes, id)
+	a.cblocks.invalidateSegment(uint64(id))
+	rep.SegmentsReclaimed++
+	return done, nil
+}
+
+// elideUnreachableMediumsLocked walks the medium graph from live volumes
+// and elides every medium nothing references. Caller holds mu.
+func (a *Array) elideUnreachableMediumsLocked(at sim.Time, rep *GCReport) (sim.Time, error) {
+	done := at
+	roots := map[uint64]bool{}
+	d, err := a.pyr[relation.IDVolumes].Scan(done, nil, nil, func(f tuple.Fact) bool {
+		row := relation.VolumeFromFact(f)
+		if row.State != relation.VolumeDeleted {
+			roots[row.Medium] = true
+		}
+		return true
+	})
+	if err != nil {
+		return d, err
+	}
+	done = d
+
+	all := map[uint64]bool{}
+	edges := map[uint64][]uint64{} // source -> targets
+	d, err = a.pyr[relation.IDMediums].Scan(done, nil, nil, func(f tuple.Fact) bool {
+		row := relation.MediumFromFact(f)
+		all[row.Source] = true
+		if row.Target != relation.NoMedium {
+			edges[row.Source] = append(edges[row.Source], row.Target)
+		}
+		return true
+	})
+	if err != nil {
+		return d, err
+	}
+	done = d
+
+	reachable := map[uint64]bool{}
+	var stack []uint64
+	for m := range roots {
+		stack = append(stack, m)
+	}
+	for len(stack) > 0 {
+		m := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if reachable[m] {
+			continue
+		}
+		reachable[m] = true
+		stack = append(stack, edges[m]...)
+	}
+
+	victims := make([]uint64, 0)
+	for m := range all {
+		if !reachable[m] {
+			victims = append(victims, m)
+		}
+	}
+	sort.Slice(victims, func(i, j int) bool { return victims[i] < victims[j] })
+	for _, m := range victims {
+		d, err := a.elideMediumLocked(done, m)
+		if err != nil {
+			return d, err
+		}
+		done = d
+		rep.MediumsElided++
+	}
+	return done, nil
+}
+
+// flattenDeepMediumsLocked materializes direct address mappings on volume
+// leaf mediums whose chains run deeper than two hops. No data moves — only
+// metadata — after which the leaf's medium row drops its underlay. Caller
+// holds mu.
+func (a *Array) flattenDeepMediumsLocked(at sim.Time, rep *GCReport) (sim.Time, error) {
+	done := at
+	type leaf struct{ medium, sectors uint64 }
+	var leaves []leaf
+	d, err := a.pyr[relation.IDVolumes].Scan(done, nil, nil, func(f tuple.Fact) bool {
+		row := relation.VolumeFromFact(f)
+		if row.State == relation.VolumeActive {
+			leaves = append(leaves, leaf{row.Medium, row.SizeSectors})
+		}
+		return true
+	})
+	if err != nil {
+		return d, err
+	}
+	done = d
+
+	for _, lf := range leaves {
+		exts, d, err := medium.ResolveAll(done, (*lookupAdapter)(a), lf.medium, 0, lf.sectors)
+		done = d
+		if err != nil {
+			return done, err
+		}
+		if medium.MaxDepth(exts) <= 2 {
+			continue
+		}
+		var facts []tuple.Fact
+		durable := true
+		sector := uint64(0)
+		for _, ext := range exts {
+			if !ext.Zero && ext.Depth > 0 {
+				// Only reference flush-durable cblocks; a crash must not
+				// leave flattened facts pointing at unflushed segios.
+				if _, _, err := a.fetchDurableCBlockLocked(done, ext.Addr.Segment, ext.Addr.SegOff, int(ext.Addr.PhysLen)); err != nil {
+					durable = false
+				} else {
+					facts = append(facts, relation.AddrRow{
+						Medium: lf.medium, Sector: sector,
+						Segment: ext.Addr.Segment, SegOff: ext.Addr.SegOff, PhysLen: ext.Addr.PhysLen,
+						Inner: ext.Inner, Sectors: ext.Sectors, Flags: ext.Addr.Flags | relation.AddrFlagDedup,
+					}.Fact(a.seqs.Next()))
+				}
+			}
+			sector += ext.Sectors
+		}
+		for base := 0; base < len(facts); base += 512 {
+			end := base + 512
+			if end > len(facts) {
+				end = len(facts)
+			}
+			if done, err = a.commitFactsLocked(done, relation.IDAddrs, facts[base:end]); err != nil {
+				return done, err
+			}
+		}
+		if durable {
+			// Every mapped extent is materialized: cut the chain.
+			if done, err = a.commitFactsLocked(done, relation.IDMediums, []tuple.Fact{relation.MediumRow{
+				Source: lf.medium, Start: 0, End: lf.sectors - 1,
+				Target: relation.NoMedium, Status: relation.MediumRW,
+			}.Fact(a.seqs.Next())}); err != nil {
+				return done, err
+			}
+			rep.MediumsFlattened++
+			a.stats.Flattened++
+		}
+	}
+	return done, nil
+}
+
+// ScrubReport summarizes a scrub pass (§5.1).
+type ScrubReport struct {
+	SegmentsScanned  int
+	StripesVerified  int
+	BadWriteUnits    int
+	SegmentsRepaired int
+}
+
+// Scrub verifies every sealed segment's write units against their recorded
+// CRCs, and evacuates (rewrites) any segment with latent damage — the
+// proactive pass that lets worn flash run past its rated life (§5.1).
+func (a *Array) Scrub(at sim.Time) (ScrubReport, sim.Time, error) {
+	a.mu.Lock()
+	ids := make([]layout.SegmentID, 0, len(a.segMap))
+	for id, info := range a.segMap {
+		if info.Sealed {
+			ids = append(ids, id)
+		}
+	}
+	a.mu.Unlock()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	var rep ScrubReport
+	done := at
+	damaged := map[layout.SegmentID]bool{}
+	for _, id := range ids {
+		a.mu.Lock()
+		info, ok := a.segMap[id]
+		a.mu.Unlock()
+		if !ok {
+			continue
+		}
+		rep.SegmentsScanned++
+		// Any shard's AU trailer carries the CRCs; try them in order.
+		var trailer layout.AUTrailer
+		found := false
+		for _, au := range info.AUs {
+			t, d, err := a.reader.ReadAUTrailer(done, au)
+			done = d
+			if err == nil {
+				trailer = t
+				found = true
+				break
+			}
+		}
+		if !found {
+			continue
+		}
+		for s := 0; s < trailer.Stripes; s++ {
+			bad, d := a.reader.VerifyStripe(done, trailer, s)
+			done = d
+			rep.StripesVerified++
+			rep.BadWriteUnits += len(bad)
+			if len(bad) > 0 {
+				damaged[id] = true
+			}
+		}
+	}
+
+	// Repair: evacuating the segment rewrites its live data elsewhere via
+	// reconstruction, then erases the damaged AUs. Segments holding live
+	// metadata pages are left for pyramid merges to rewrite first (their
+	// stripes remain readable through parity meanwhile).
+	if len(damaged) > 0 {
+		a.mu.Lock()
+		metaLive := map[layout.SegmentID]bool{}
+		for _, relID := range a.relationIDs() {
+			for _, patch := range a.pyr[relID].Patches() {
+				for _, pg := range patch.Pages {
+					metaLive[layout.SegmentID(pg.Ref.Segment)] = true
+				}
+			}
+		}
+		live, d2, err := a.computeLivenessLocked(done)
+		d := d2
+		if err != nil {
+			a.mu.Unlock()
+			return rep, d, err
+		}
+		done = d
+		victims := make([]layout.SegmentID, 0, len(damaged))
+		for id := range damaged {
+			if !metaLive[id] {
+				victims = append(victims, id)
+			}
+		}
+		sort.Slice(victims, func(i, j int) bool { return victims[i] < victims[j] })
+		for _, id := range victims {
+			var gcRep GCReport
+			d, err := a.evacuateSegmentLocked(done, id, live[id], &gcRep)
+			if err != nil {
+				a.mu.Unlock()
+				return rep, d, err
+			}
+			done = d
+			rep.SegmentsRepaired++
+		}
+		a.mu.Unlock()
+	}
+	return rep, done, nil
+}

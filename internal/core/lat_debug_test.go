@@ -1,0 +1,87 @@
+package core
+
+import (
+	"testing"
+
+	"purity/internal/medium"
+	"purity/internal/sim"
+)
+
+// TestLatencyBreakdown dissects slow reads under a mixed workload: where
+// does the tail come from — metadata resolution, data reads, or CPU?
+func TestLatencyBreakdown(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic")
+	}
+	cfg := DefaultConfig()
+	cfg.Shelf.Drives = 11
+	cfg.Shelf.DriveConfig.Capacity = 96 << 20
+	a, err := Format(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	volBytes := int64(64) << 20
+	vol := mustCreate(t, a, "lat", volBytes)
+	buf := make([]byte, 32<<10)
+	now := sim.Time(0)
+	for off := int64(0); off+int64(len(buf)) <= volBytes; off += int64(len(buf)) {
+		sim.NewRand(uint64(off)).Bytes(buf)
+		d, err := a.WriteAt(now, vol, off, buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		now = d
+	}
+	// Mixed phase with manual breakdown.
+	r := sim.NewRand(7)
+	slowMeta, slowData, slowCPU, slow := 0, 0, 0, 0
+	for i := 0; i < 3000; i++ {
+		off := r.Int63n(volBytes/(32<<10)) * (32 << 10)
+		if r.Float64() < 0.3 {
+			sim.NewRand(uint64(i)).Bytes(buf)
+			d, err := a.WriteAt(now, vol, off, buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			now = d
+			continue
+		}
+		at := now
+		a.mu.Lock()
+		row, d0, err := a.volumeLocked(at, vol)
+		if err != nil {
+			a.mu.Unlock()
+			t.Fatal(err)
+		}
+		exts, d1, err := medium.ResolveAll(d0, (*lookupAdapter)(a), row.Medium, uint64(off/512), 64)
+		if err != nil {
+			a.mu.Unlock()
+			t.Fatal(err)
+		}
+		d2 := d1
+		for _, ext := range exts {
+			if ext.Zero {
+				continue
+			}
+			if ed, err := a.readExtentLocked(d1, ext, buf[:int(ext.Sectors)*512]); err == nil && ed > d2 {
+				d2 = ed
+			}
+		}
+		d3 := a.cpuLocked(d2, sim.Time(cfg.CPUOverhead))
+		a.mu.Unlock()
+		lat := d3 - at
+		if lat > 3*sim.Millisecond {
+			slow++
+			switch {
+			case d1-at > 2*sim.Millisecond:
+				slowMeta++
+			case d2-d1 > 2*sim.Millisecond:
+				slowData++
+			case d3-d2 > 2*sim.Millisecond:
+				slowCPU++
+			}
+		}
+		now = d3
+	}
+	t.Logf("slow reads: %d (meta %d, data %d, cpu %d)", slow, slowMeta, slowData, slowCPU)
+}

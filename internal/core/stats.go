@@ -1,0 +1,187 @@
+package core
+
+import (
+	"sort"
+
+	"purity/internal/elide"
+	"purity/internal/layout"
+	"purity/internal/relation"
+	"purity/internal/sim"
+	"purity/internal/ssd"
+	"purity/internal/telemetry"
+	"purity/internal/tuple"
+)
+
+// elidePredicate converts a persisted elide row to its in-memory form.
+func elidePredicate(row relation.ElideRow) elide.Predicate {
+	return elide.Predicate{Col: int(row.Col), Lo: row.Lo, Hi: row.Hi, MaxSeq: row.MaxSeq}
+}
+
+// StatsSnapshot is the engine's public counter view.
+type StatsSnapshot struct {
+	Writes, Reads       int64
+	WriteLatency        *telemetry.Histogram
+	ReadLatency         *telemetry.Histogram
+	Reduction           telemetry.ReductionSnapshot
+	ReductionRatio      float64
+	SegRead             layout.ReadStats
+	DedupHits           int64
+	DedupMisses         int64
+	InlineDupBlocks     int64
+	GCRuns              int64
+	GCBytesMoved        int64
+	GCSegsReclaimed     int64
+	Checkpoints         int64
+	FrontierWrites      int64
+	CacheHits           int64
+	CacheMisses         int64
+	Flattened           int64
+	HedgedReads         int64
+	SpeculativePromotes int64
+
+	Segments    int
+	FrontierAUs int
+	FreeAUs     int64
+	// ProvisionedBytes sums live volume sizes — the thin-provisioning
+	// headline (the paper's customers provision ~12x physical on average).
+	ProvisionedBytes int64
+	FlashStats       ssd.Stats
+	NVRAMUsed        int64
+	NVRAMAppends     int64
+}
+
+// Stats returns a snapshot of the engine's counters. The histogram pointers
+// are live (they keep accumulating); callers wanting a frozen view should
+// query percentiles immediately.
+func (a *Array) Stats() StatsSnapshot {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return StatsSnapshot{
+		Writes:              a.stats.Writes,
+		Reads:               a.stats.Reads,
+		WriteLatency:        a.stats.WriteLatency,
+		ReadLatency:         a.stats.ReadLatency,
+		Reduction:           a.stats.Reduction.Snapshot(),
+		ReductionRatio:      a.stats.Reduction.Ratio(),
+		SegRead:             a.stats.SegRead,
+		DedupHits:           a.stats.DedupHits,
+		DedupMisses:         a.stats.DedupMisses,
+		InlineDupBlocks:     a.stats.InlineDupBlocks,
+		GCRuns:              a.stats.GCRuns,
+		GCBytesMoved:        a.stats.GCBytesMoved,
+		GCSegsReclaimed:     a.stats.GCSegsReclaimed,
+		Checkpoints:         a.stats.Checkpoints,
+		FrontierWrites:      a.stats.FrontierWrites,
+		CacheHits:           a.stats.CacheHits,
+		CacheMisses:         a.stats.CacheMisses,
+		Flattened:           a.stats.Flattened,
+		HedgedReads:         a.stats.HedgedReads,
+		SpeculativePromotes: a.stats.SpeculativePromotes,
+		Segments:            len(a.segMap),
+		ProvisionedBytes:    a.provisionedLocked(),
+		FrontierAUs:         a.alloc.FrontierSize(),
+		FreeAUs:             a.alloc.FreeAUs(),
+		FlashStats:          a.shelf.AggregateStats(),
+		NVRAMUsed:           a.shelf.NVRAM(0).Used(),
+		NVRAMAppends:        a.shelf.NVRAM(0).Appends(),
+	}
+}
+
+// PhysicalCapacity returns the shelf's raw capacity in bytes.
+func (a *Array) PhysicalCapacity() int64 { return a.shelf.TotalCapacity() }
+
+// ElideTableSize returns the number of collapsed elide ranges for a
+// relation — experiment E5's bound check.
+func (a *Array) ElideTableSize(relID uint32) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if et, ok := a.elides[relID]; ok {
+		return et.Len()
+	}
+	return 0
+}
+
+// provisionedLocked sums live volume sizes. Caller holds mu.
+func (a *Array) provisionedLocked() int64 {
+	var total int64
+	_, _ = a.pyr[relation.IDVolumes].Scan(0, nil, nil, func(f tuple.Fact) bool {
+		row := relation.VolumeFromFact(f)
+		if row.State == relation.VolumeActive {
+			total += int64(row.SizeSectors) * 512
+		}
+		return true
+	})
+	return total
+}
+
+// SegmentInventory lists every known segment with its in-memory liveness
+// approximation, for inspection tools.
+type SegmentInventory struct {
+	ID        uint64
+	Sealed    bool
+	Stripes   int
+	LiveBytes int64
+	AUs       int
+}
+
+// Segments returns the segment inventory sorted by ID.
+func (a *Array) Segments() []SegmentInventory {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]SegmentInventory, 0, len(a.segMap))
+	for id, info := range a.segMap {
+		out = append(out, SegmentInventory{
+			ID: uint64(id), Sealed: info.Sealed, Stripes: info.Stripes,
+			LiveBytes: a.liveBytes[id], AUs: len(info.AUs),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ScanMediums streams every live medium-table row, for inspection tools
+// and the F6 experiment.
+func (a *Array) ScanMediums(at sim.Time, fn func(relation.MediumRow)) (sim.Time, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.pyr[relation.IDMediums].Scan(at, nil, nil, func(f tuple.Fact) bool {
+		fn(relation.MediumFromFact(f))
+		return true
+	})
+}
+
+// RelationRows returns the persisted+memtable row count of a relation's
+// pyramid (shadowed and not-yet-merged versions included) — ablation A1
+// uses it to size the dedup index under different sampling rates.
+func (a *Array) RelationRows(relID uint32) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if p, ok := a.pyr[relID]; ok {
+		return p.Rows()
+	}
+	return 0
+}
+
+// CacheWarmKeys exports the hot cblock keys for controller cache warming
+// (§4.3). Coldest first, so replaying preserves recency order.
+func (a *Array) CacheWarmKeys() []WarmKey {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.cblocks.keys()
+}
+
+// WarmCBlocks pre-loads cblocks into the DRAM cache — the secondary
+// controller applies the primary's warm list after failover. Warming
+// failures are ignored (it is only an optimization); the completion time of
+// the whole warming pass is returned.
+func (a *Array) WarmCBlocks(at sim.Time, keys []WarmKey) sim.Time {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	done := at
+	for _, k := range keys {
+		if _, d, err := a.readCBlockLocked(at, k.Segment, uint64(k.Off), k.PhysLen); err == nil && d > done {
+			done = d
+		}
+	}
+	return done
+}

@@ -1,0 +1,265 @@
+package core
+
+import (
+	"fmt"
+
+	"purity/internal/cblock"
+	"purity/internal/dedup"
+	"purity/internal/layout"
+	"purity/internal/relation"
+	"purity/internal/sim"
+	"purity/internal/tuple"
+)
+
+// WriteAt writes data to a volume at a byte offset (both sector-aligned).
+// The write is acknowledged when its facts and payloads are durable in
+// NVRAM; segment placement happens in the same call but does not gate the
+// returned completion time — this is the paper's commit path (Figure 4).
+func (a *Array) WriteAt(at sim.Time, vol VolumeID, off int64, data []byte) (sim.Time, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if off%cblock.SectorSize != 0 || len(data)%cblock.SectorSize != 0 || len(data) == 0 {
+		return at, ErrUnaligned
+	}
+	row, done, err := a.volumeLocked(at, vol)
+	if err != nil {
+		return done, err
+	}
+	if row.State == relation.VolumeSnapshot {
+		return done, fmt.Errorf("core: volume %d is a read-only snapshot", vol)
+	}
+	startSector := uint64(off) / cblock.SectorSize
+	if startSector+uint64(len(data))/cblock.SectorSize > row.SizeSectors {
+		return done, ErrOutOfRange
+	}
+
+	exts, err := cblock.SplitWrite(len(data))
+	if err != nil {
+		return done, err
+	}
+	var chunks []writeChunk
+	var facts []tuple.Fact
+	var physical, deduped int64
+	for _, ext := range exts {
+		part := data[ext.Offset : ext.Offset+ext.Len]
+		sector := startSector + uint64(ext.Offset)/cblock.SectorSize
+		cs, d, err := a.placeCBlockLocked(done, row.Medium, sector, part)
+		done = d
+		if err != nil {
+			return done, err
+		}
+		for _, ch := range cs {
+			chunks = append(chunks, ch)
+			facts = append(facts, ch.addr)
+			facts = append(facts, ch.dedup...)
+			if ch.payload != nil {
+				physical += int64(relation.AddrFromFact(ch.addr).PhysLen)
+			} else {
+				deduped += int64(relation.AddrFromFact(ch.addr).Sectors) * cblock.SectorSize
+			}
+		}
+	}
+
+	// Commit: one NVRAM record for the whole write.
+	done, err = a.nvramAppendLocked(done, encodeWriteRecord(chunks))
+	if err != nil {
+		return done, err
+	}
+	cpuCost := sim.Time(a.cfg.CPUOverhead + a.cfg.CPUPerKiBWrite*int64(len(data))/1024)
+	ackAt := a.cpuLocked(done, cpuCost)
+
+	for _, ch := range chunks {
+		a.applyFactsLocked(relation.IDAddrs, []tuple.Fact{ch.addr})
+		if len(ch.dedup) > 0 {
+			a.applyFactsLocked(relation.IDDedup, ch.dedup)
+		}
+	}
+	a.persistedSeq = a.seqs.Current()
+
+	a.stats.Writes++
+	a.stats.WriteLatency.Record(ackAt - at)
+	a.stats.Reduction.AddWrite(int64(len(data)), physical, deduped)
+
+	if _, err := a.maybeBackgroundLocked(done); err != nil {
+		return ackAt, err
+	}
+	return ackAt, nil
+}
+
+// placeCBlockLocked turns one cblock-sized extent of a write into chunks:
+// a deduplicated run referencing existing data, plus literal cblocks that
+// are compressed and appended to the data segment. Caller holds mu.
+func (a *Array) placeCBlockLocked(at sim.Time, medium, sector uint64, part []byte) ([]writeChunk, sim.Time, error) {
+	done := at
+	if a.cfg.DedupEnabled {
+		run, d, found := a.findDuplicateLocked(done, part)
+		done = d
+		if found && (run.Count >= a.cfg.DedupMinRunBlocks || run.Count == len(part)/cblock.SectorSize) {
+			a.stats.DedupHits++
+			a.stats.InlineDupBlocks += int64(run.Count)
+			var chunks []writeChunk
+			// Literal prefix.
+			if run.Start > 0 {
+				cs, d, err := a.literalChunkLocked(done, medium, sector, part[:run.Start*cblock.SectorSize])
+				done = d
+				if err != nil {
+					return nil, done, err
+				}
+				chunks = append(chunks, cs)
+			}
+			// The duplicate run: a mapping into existing data, no new bytes.
+			chunks = append(chunks, writeChunk{addr: relation.AddrRow{
+				Medium:  medium,
+				Sector:  sector + uint64(run.Start),
+				Segment: run.Cand.Segment,
+				SegOff:  run.Cand.SegOff,
+				PhysLen: run.Cand.PhysLen,
+				Inner:   uint64(run.CandStart),
+				Sectors: uint64(run.Count),
+				Flags:   relation.AddrFlagDedup,
+			}.Fact(a.seqs.Next())})
+			// Literal suffix.
+			if end := run.Start + run.Count; end < len(part)/cblock.SectorSize {
+				cs, d, err := a.literalChunkLocked(done, medium, sector+uint64(end), part[end*cblock.SectorSize:])
+				done = d
+				if err != nil {
+					return nil, done, err
+				}
+				chunks = append(chunks, cs)
+			}
+			return chunks, done, nil
+		}
+		a.stats.DedupMisses++
+	}
+	cs, d, err := a.literalChunkLocked(done, medium, sector, part)
+	if err != nil {
+		return nil, d, err
+	}
+	return []writeChunk{cs}, d, nil
+}
+
+// literalChunkLocked compresses and places new data, producing its address
+// fact and sampled dedup facts. Caller holds mu.
+func (a *Array) literalChunkLocked(at sim.Time, medium, sector uint64, part []byte) (writeChunk, sim.Time, error) {
+	frame, err := cblock.Pack(part, a.cfg.CompressionEnabled)
+	if err != nil {
+		return writeChunk{}, at, err
+	}
+	// The segio append may trigger a background flush; its completion time
+	// advances the drives' busy state but must not gate this write's
+	// acknowledgement — the commit path acks at NVRAM persistence
+	// (Figure 4), and the segio write-back is asynchronous.
+	seg, segOff, _, err := a.appendDataLocked(at, classData, frame)
+	done := at
+	if err != nil {
+		return writeChunk{}, done, err
+	}
+	sectors := uint64(len(part)) / cblock.SectorSize
+	ch := writeChunk{
+		addr: relation.AddrRow{
+			Medium: medium, Sector: sector,
+			Segment: uint64(seg), SegOff: uint64(segOff), PhysLen: uint64(len(frame)),
+			Sectors: sectors,
+		}.Fact(a.seqs.Next()),
+		payload: part,
+	}
+	a.liveBytes[seg] += int64(len(frame))
+
+	// Hash every block; record a sample persistently, everything recently.
+	hashes := dedup.HashBlocks(part)
+	for i, h := range hashes {
+		cand := dedup.Candidate{Segment: uint64(seg), SegOff: uint64(segOff), PhysLen: uint64(len(frame)), SectorIdx: uint64(i)}
+		a.recent.Add(h, cand)
+		if a.cfg.DedupEnabled && dedup.ShouldRecord(i, a.cfg.DedupSampling) {
+			ch.dedup = append(ch.dedup, relation.DedupRow{
+				Hash: h, Segment: cand.Segment, SegOff: cand.SegOff,
+				PhysLen: cand.PhysLen, SectorIdx: cand.SectorIdx,
+			}.Fact(a.seqs.Next()))
+		}
+	}
+	return ch, done, nil
+}
+
+// findDuplicateLocked looks every block hash up in the recent index and the
+// persistent dedup relation, byte-verifies the first candidate that pans
+// out, and extends it into a run (§4.7). Caller holds mu.
+func (a *Array) findDuplicateLocked(at sim.Time, part []byte) (dedup.Run, sim.Time, bool) {
+	done := at
+	hashes := dedup.HashBlocks(part)
+	fetch := func(c dedup.Candidate) ([]byte, bool) {
+		sectors, d, err := a.fetchDurableCBlockLocked(done, c.Segment, c.SegOff, int(c.PhysLen))
+		done = d
+		if err != nil {
+			return nil, false
+		}
+		return sectors, true
+	}
+	for i, h := range hashes {
+		if cand, ok := a.recent.Lookup(h); ok {
+			if run, ok := dedup.ExtendAnchor(part, i, cand, fetch); ok {
+				return run, done, true
+			}
+		}
+		f, ok, d, err := a.pyr[relation.IDDedup].Get(done, []uint64{h})
+		done = d
+		if err != nil || !ok {
+			continue
+		}
+		row := relation.DedupFromFact(f)
+		cand := dedup.Candidate{Segment: row.Segment, SegOff: row.SegOff, PhysLen: row.PhysLen, SectorIdx: row.SectorIdx}
+		if run, ok := dedup.ExtendAnchor(part, i, cand, fetch); ok {
+			return run, done, true
+		}
+	}
+	return dedup.Run{}, done, false
+}
+
+// fetchDurableCBlockLocked reads and decompresses a cblock, but only if its
+// segment is SEALED. Cross-references — dedup mappings, flattened chains,
+// GC redirects — must only point at sealed segments: those are
+// rediscoverable after a crash (checkpoint or AU-trailer scan), whereas an
+// unsealed segment's data is re-placed from NVRAM payloads at new
+// addresses, which would leave the cross-reference dangling. Caller holds
+// mu.
+func (a *Array) fetchDurableCBlockLocked(at sim.Time, seg, segOff uint64, physLen int) ([]byte, sim.Time, error) {
+	info, ok := a.segInfoLocked(layout.SegmentID(seg))
+	if !ok {
+		return nil, at, fmt.Errorf("core: dedup candidate in unknown segment %d", seg)
+	}
+	if !info.Sealed {
+		return nil, at, fmt.Errorf("core: dedup candidate not yet sealed")
+	}
+	return a.readCBlockLocked(at, seg, segOff, physLen)
+}
+
+// readCBlockLocked returns the decompressed sectors of a cblock, through
+// the DRAM cache. Caller holds mu.
+func (a *Array) readCBlockLocked(at sim.Time, seg, segOff uint64, physLen int) ([]byte, sim.Time, error) {
+	key := cblockKey{segment: seg, off: int64(segOff)}
+	if sectors, ok := a.cblocks.get(key); ok {
+		a.stats.CacheHits++
+		return sectors, at, nil
+	}
+	a.stats.CacheMisses++
+	frame, done, err := a.readSegmentLocked(at, layout.SegmentID(seg), int64(segOff), physLen)
+	if err != nil {
+		return nil, done, err
+	}
+	sectors, err := cblock.Unpack(frame)
+	if err != nil {
+		if debugSegReads {
+			info, ok := a.segInfoLocked(layout.SegmentID(seg))
+			open := false
+			for _, w := range a.open {
+				if w != nil && w.Info().ID == layout.SegmentID(seg) {
+					open = true
+				}
+			}
+			fmt.Printf("DEBUG unpack fail seg=%d off=%d len=%d ok=%v open=%v info=%+v head=%x\n",
+				seg, segOff, physLen, ok, open, info, frame[:16])
+		}
+		return nil, done, err
+	}
+	a.cblocks.put(key, physLen, sectors)
+	return sectors, done, nil
+}

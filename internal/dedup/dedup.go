@@ -1,0 +1,176 @@
+// Package dedup implements the hashing and matching machinery of Purity's
+// inline deduplication (§4.7 of the paper): 512 B-granularity hashing with
+// 64-bit hashes, 1-in-8 sampling of *recorded* hashes (every hash is looked
+// up, only every eighth is remembered), byte-verification of candidates,
+// and anchor extension — growing a verified match forwards and backwards so
+// duplicate runs of ≥ 8 blocks (4 KiB) are found regardless of alignment.
+package dedup
+
+import (
+	"sync"
+)
+
+// Sampling is the default recording rate: one in eight block hashes is
+// recorded (§4.7).
+const Sampling = 8
+
+// BlockSize is the dedup granularity.
+const BlockSize = 512
+
+// Hash returns the 64-bit hash of one 512 B block (FNV-1a). The paper uses
+// hashes "no larger than 64 bits" with collision rates of 1e-6 or worse —
+// collisions are acceptable because every match is byte-verified before it
+// affects anything.
+func Hash(block []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, b := range block {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	return h
+}
+
+// HashBlocks hashes every BlockSize-aligned block of data (whose length
+// must be a multiple of BlockSize).
+func HashBlocks(data []byte) []uint64 {
+	n := len(data) / BlockSize
+	out := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		out[i] = Hash(data[i*BlockSize : (i+1)*BlockSize])
+	}
+	return out
+}
+
+// Candidate is where a previously written block lives: a cblock plus a
+// sector index within it.
+type Candidate struct {
+	Segment   uint64
+	SegOff    uint64
+	PhysLen   uint64
+	SectorIdx uint64
+}
+
+// RecentIndex is the in-memory hash index over recently written and
+// frequently deduplicated blocks. Inline dedup "only checks for duplicates
+// of recently written data and frequently deduplicated data" (§4.7); the
+// persistent dedup relation holds the sampled long-term entries, and this
+// bounded map holds the short-term ones. Safe for concurrent use.
+type RecentIndex struct {
+	mu    sync.Mutex
+	cap   int
+	table map[uint64]Candidate
+	ring  []uint64 // insertion order for eviction
+	pos   int
+}
+
+// NewRecentIndex returns an index bounded to capacity entries.
+func NewRecentIndex(capacity int) *RecentIndex {
+	if capacity <= 0 {
+		capacity = 1 << 16
+	}
+	return &RecentIndex{
+		cap:   capacity,
+		table: make(map[uint64]Candidate, capacity),
+		ring:  make([]uint64, capacity),
+	}
+}
+
+// Add records a block's location, evicting the oldest entry when full.
+func (r *RecentIndex) Add(hash uint64, c Candidate) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, exists := r.table[hash]; !exists {
+		if len(r.table) >= r.cap {
+			delete(r.table, r.ring[r.pos])
+		}
+		r.ring[r.pos] = hash
+		r.pos = (r.pos + 1) % r.cap
+	}
+	r.table[hash] = c
+}
+
+// Lookup returns the candidate for a hash, if present.
+func (r *RecentIndex) Lookup(hash uint64) (Candidate, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.table[hash]
+	return c, ok
+}
+
+// Len returns the number of entries.
+func (r *RecentIndex) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.table)
+}
+
+// Run is a verified duplicate run within a new write: blocks [Start,
+// Start+Count) of the write match sectors [CandStart, CandStart+Count) of
+// the candidate's cblock.
+type Run struct {
+	Start     int // block index within the new data
+	Count     int
+	Cand      Candidate
+	CandStart int // sector index within the candidate cblock
+}
+
+// FetchFunc returns the decompressed sectors of a candidate cblock, or
+// ok=false when the candidate is stale (moved by GC, unreadable, ...).
+// Fetching is the paper's "extra read" — the price of confirming a match.
+type FetchFunc func(c Candidate) (sectors []byte, ok bool)
+
+// ExtendAnchor byte-verifies a hash match at block `anchor` of data against
+// the candidate, then grows the match backwards and forwards block by
+// block. It returns the verified run, or ok=false if even the anchor block
+// fails verification (a hash collision or stale candidate).
+func ExtendAnchor(data []byte, anchor int, cand Candidate, fetch FetchFunc) (Run, bool) {
+	sectors, ok := fetch(cand)
+	if !ok {
+		return Run{}, false
+	}
+	candBlocks := len(sectors) / BlockSize
+	ci := int(cand.SectorIdx)
+	if ci >= candBlocks {
+		return Run{}, false // stale entry: cblock shrank or entry is garbage
+	}
+	blockAt := func(i int) []byte { return data[i*BlockSize : (i+1)*BlockSize] }
+	candAt := func(i int) []byte { return sectors[i*BlockSize : (i+1)*BlockSize] }
+	if !equalBlock(blockAt(anchor), candAt(ci)) {
+		return Run{}, false
+	}
+	lo, clo := anchor, ci
+	for lo > 0 && clo > 0 && equalBlock(blockAt(lo-1), candAt(clo-1)) {
+		lo--
+		clo--
+	}
+	hi, chi := anchor+1, ci+1
+	nBlocks := len(data) / BlockSize
+	for hi < nBlocks && chi < candBlocks && equalBlock(blockAt(hi), candAt(chi)) {
+		hi++
+		chi++
+	}
+	return Run{Start: lo, Count: hi - lo, Cand: cand, CandStart: clo}, true
+}
+
+func equalBlock(a, b []byte) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ShouldRecord reports whether the i-th block hash of a write should be
+// recorded in the persistent dedup index (1-in-Sampling rule; block 0 of
+// each cblock is always recorded so every cblock is findable).
+func ShouldRecord(i, sampling int) bool {
+	if sampling <= 1 {
+		return true
+	}
+	return i%sampling == 0
+}

@@ -1,0 +1,215 @@
+package dedup
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"purity/internal/sim"
+)
+
+func TestHashDistinct(t *testing.T) {
+	a := make([]byte, BlockSize)
+	b := make([]byte, BlockSize)
+	b[0] = 1
+	if Hash(a) == Hash(b) {
+		t.Fatal("trivially different blocks collide")
+	}
+	if Hash(a) != Hash(a) {
+		t.Fatal("hash not deterministic")
+	}
+}
+
+func TestHashBlocks(t *testing.T) {
+	data := make([]byte, 4*BlockSize)
+	sim.NewRand(1).Bytes(data)
+	hs := HashBlocks(data)
+	if len(hs) != 4 {
+		t.Fatalf("got %d hashes", len(hs))
+	}
+	for i := range hs {
+		if hs[i] != Hash(data[i*BlockSize:(i+1)*BlockSize]) {
+			t.Fatalf("hash %d mismatch", i)
+		}
+	}
+}
+
+func TestRecentIndexEviction(t *testing.T) {
+	idx := NewRecentIndex(4)
+	for i := uint64(0); i < 10; i++ {
+		idx.Add(i, Candidate{Segment: i})
+	}
+	if idx.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", idx.Len())
+	}
+	// Oldest entries evicted, newest retained.
+	if _, ok := idx.Lookup(0); ok {
+		t.Fatal("entry 0 not evicted")
+	}
+	if c, ok := idx.Lookup(9); !ok || c.Segment != 9 {
+		t.Fatal("entry 9 missing")
+	}
+	// Updating an existing hash does not grow the index.
+	idx.Add(9, Candidate{Segment: 99})
+	if idx.Len() != 4 {
+		t.Fatalf("Len after update = %d", idx.Len())
+	}
+	if c, _ := idx.Lookup(9); c.Segment != 99 {
+		t.Fatal("update lost")
+	}
+}
+
+func TestShouldRecord(t *testing.T) {
+	recorded := 0
+	for i := 0; i < 64; i++ {
+		if ShouldRecord(i, 8) {
+			recorded++
+		}
+	}
+	if recorded != 8 {
+		t.Fatalf("recorded %d of 64 hashes at 1/8 sampling", recorded)
+	}
+	if !ShouldRecord(0, 8) {
+		t.Fatal("block 0 must always be recorded")
+	}
+	if !ShouldRecord(5, 1) || !ShouldRecord(5, 0) {
+		t.Fatal("sampling ≤ 1 must record everything")
+	}
+}
+
+// fakeFetch serves one candidate cblock from memory.
+func fakeFetch(sectors []byte) FetchFunc {
+	return func(Candidate) ([]byte, bool) { return sectors, true }
+}
+
+func TestExtendAnchorFullMatch(t *testing.T) {
+	blob := make([]byte, 16*BlockSize)
+	sim.NewRand(2).Bytes(blob)
+	// New write is an exact duplicate; anchor in the middle.
+	run, ok := ExtendAnchor(blob, 7, Candidate{SectorIdx: 7}, fakeFetch(blob))
+	if !ok {
+		t.Fatal("anchor verify failed")
+	}
+	if run.Start != 0 || run.Count != 16 || run.CandStart != 0 {
+		t.Fatalf("run = %+v, want full 16 blocks", run)
+	}
+}
+
+func TestExtendAnchorMisaligned(t *testing.T) {
+	// Candidate cblock holds blocks [A0..A15]. The new write contains
+	// [junk, junk, A3..A12, junk]: the duplicate run starts at block 2 of
+	// the write and sector 3 of the candidate — arbitrary alignment.
+	cand := make([]byte, 16*BlockSize)
+	sim.NewRand(3).Bytes(cand)
+	write := make([]byte, 13*BlockSize)
+	sim.NewRand(4).Bytes(write)
+	copy(write[2*BlockSize:12*BlockSize], cand[3*BlockSize:13*BlockSize])
+
+	// Anchor at write block 5 == candidate sector 6.
+	run, ok := ExtendAnchor(write, 5, Candidate{SectorIdx: 6}, fakeFetch(cand))
+	if !ok {
+		t.Fatal("anchor verify failed")
+	}
+	if run.Start != 2 || run.Count != 10 || run.CandStart != 3 {
+		t.Fatalf("run = %+v, want start 2 count 10 candStart 3", run)
+	}
+}
+
+func TestExtendAnchorCollisionRejected(t *testing.T) {
+	cand := make([]byte, 4*BlockSize)
+	write := make([]byte, 4*BlockSize)
+	sim.NewRand(5).Bytes(cand)
+	sim.NewRand(6).Bytes(write)
+	if _, ok := ExtendAnchor(write, 1, Candidate{SectorIdx: 1}, fakeFetch(cand)); ok {
+		t.Fatal("non-matching anchor verified")
+	}
+}
+
+func TestExtendAnchorStaleCandidate(t *testing.T) {
+	write := make([]byte, 4*BlockSize)
+	// Fetch failure (GC moved the data).
+	if _, ok := ExtendAnchor(write, 0, Candidate{}, func(Candidate) ([]byte, bool) { return nil, false }); ok {
+		t.Fatal("stale candidate accepted")
+	}
+	// SectorIdx outside the fetched cblock.
+	small := make([]byte, 2*BlockSize)
+	if _, ok := ExtendAnchor(write, 0, Candidate{SectorIdx: 9}, fakeFetch(small)); ok {
+		t.Fatal("out-of-range sector index accepted")
+	}
+}
+
+func TestAnchorDetectsRunsAtAllAlignments(t *testing.T) {
+	// The paper's claim (§4.7): duplicate sequences of ≥ 8 blocks are
+	// detected regardless of alignment, using sampled hashes. Simulate the
+	// full pipeline: candidate written with 1/8 hash sampling; a new write
+	// duplicates 8 of its blocks at every possible phase; at least one
+	// sampled hash must hit, and anchor extension must recover ≥ the
+	// overlapping run.
+	r := sim.NewRand(7)
+	cand := make([]byte, 64*BlockSize)
+	r.Bytes(cand)
+	candHashes := HashBlocks(cand)
+	idx := NewRecentIndex(1024)
+	for i, h := range candHashes {
+		if ShouldRecord(i, Sampling) {
+			idx.Add(h, Candidate{SectorIdx: uint64(i)})
+		}
+	}
+	for phase := 0; phase < 40; phase++ {
+		write := make([]byte, 16*BlockSize)
+		r.Bytes(write)
+		// 8 duplicate blocks from candidate offset `phase`, placed at
+		// write block 4.
+		copy(write[4*BlockSize:12*BlockSize], cand[phase*BlockSize:(phase+8)*BlockSize])
+
+		found := false
+		for i, h := range HashBlocks(write) {
+			c, ok := idx.Lookup(h)
+			if !ok {
+				continue
+			}
+			run, ok := ExtendAnchor(write, i, c, fakeFetch(cand))
+			if ok && run.Count >= 8 {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("phase %d: 8-block duplicate run not detected", phase)
+		}
+	}
+}
+
+func TestExtendAnchorProperty(t *testing.T) {
+	// The returned run must actually be byte-identical.
+	f := func(seed uint64, anchorRaw, phaseRaw uint8) bool {
+		r := sim.NewRand(seed)
+		cand := make([]byte, 32*BlockSize)
+		r.Bytes(cand)
+		write := make([]byte, 16*BlockSize)
+		r.Bytes(write)
+		phase := int(phaseRaw) % 16
+		copy(write[4*BlockSize:12*BlockSize], cand[phase*BlockSize:(phase+8)*BlockSize])
+		anchor := 4 + int(anchorRaw)%8
+		ci := phase + anchor - 4
+		run, ok := ExtendAnchor(write, anchor, Candidate{SectorIdx: uint64(ci)}, fakeFetch(cand))
+		if !ok {
+			return false
+		}
+		a := write[run.Start*BlockSize : (run.Start+run.Count)*BlockSize]
+		b := cand[run.CandStart*BlockSize : (run.CandStart+run.Count)*BlockSize]
+		return bytes.Equal(a, b) && run.Count >= 8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkHash512(b *testing.B) {
+	block := make([]byte, BlockSize)
+	sim.NewRand(1).Bytes(block)
+	b.SetBytes(BlockSize)
+	for i := 0; i < b.N; i++ {
+		Hash(block)
+	}
+}

@@ -1,0 +1,127 @@
+package erasure
+
+import "fmt"
+
+// matrix is a dense row-major byte matrix over GF(2^8).
+type matrix struct {
+	rows, cols int
+	data       []byte
+}
+
+func newMatrix(rows, cols int) matrix {
+	return matrix{rows: rows, cols: cols, data: make([]byte, rows*cols)}
+}
+
+func (m matrix) at(r, c int) byte     { return m.data[r*m.cols+c] }
+func (m matrix) set(r, c int, v byte) { m.data[r*m.cols+c] = v }
+func (m matrix) row(r int) []byte     { return m.data[r*m.cols : (r+1)*m.cols] }
+
+// mul returns m × other.
+func (m matrix) mul(other matrix) matrix {
+	if m.cols != other.rows {
+		panic("erasure: matrix dimension mismatch")
+	}
+	out := newMatrix(m.rows, other.cols)
+	for r := 0; r < m.rows; r++ {
+		for c := 0; c < other.cols; c++ {
+			var acc byte
+			for k := 0; k < m.cols; k++ {
+				acc ^= gfMul(m.at(r, k), other.at(k, c))
+			}
+			out.set(r, c, acc)
+		}
+	}
+	return out
+}
+
+// identity returns the n×n identity matrix.
+func identity(n int) matrix {
+	m := newMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.set(i, i, 1)
+	}
+	return m
+}
+
+// vandermonde builds the rows×cols Vandermonde matrix with element (r, c) =
+// r^c. Any K of its rows are linearly independent, which is what makes
+// arbitrary K-of-N reconstruction possible.
+func vandermonde(rows, cols int) matrix {
+	m := newMatrix(rows, cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			m.set(r, c, gfExp(byte(r), c))
+		}
+	}
+	return m
+}
+
+// invert returns the inverse of a square matrix via Gauss–Jordan
+// elimination, or an error if the matrix is singular.
+func (m matrix) invert() (matrix, error) {
+	if m.rows != m.cols {
+		panic("erasure: inverting non-square matrix")
+	}
+	n := m.rows
+	// Work on [m | I].
+	work := newMatrix(n, 2*n)
+	for r := 0; r < n; r++ {
+		copy(work.row(r)[:n], m.row(r))
+		work.set(r, n+r, 1)
+	}
+	for col := 0; col < n; col++ {
+		// Find a pivot.
+		pivot := -1
+		for r := col; r < n; r++ {
+			if work.at(r, col) != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			return matrix{}, fmt.Errorf("erasure: singular matrix")
+		}
+		if pivot != col {
+			pr, cr := work.row(pivot), work.row(col)
+			for i := range pr {
+				pr[i], cr[i] = cr[i], pr[i]
+			}
+		}
+		// Scale pivot row to make the pivot 1.
+		if v := work.at(col, col); v != 1 {
+			inv := gfInv(v)
+			r := work.row(col)
+			for i := range r {
+				r[i] = gfMul(r[i], inv)
+			}
+		}
+		// Eliminate the column everywhere else.
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := work.at(r, col)
+			if f == 0 {
+				continue
+			}
+			src, dst := work.row(col), work.row(r)
+			for i := range dst {
+				dst[i] ^= gfMul(f, src[i])
+			}
+		}
+	}
+	out := newMatrix(n, n)
+	for r := 0; r < n; r++ {
+		copy(out.row(r), work.row(r)[n:])
+	}
+	return out, nil
+}
+
+// subMatrix returns the matrix made of the given rows of m.
+func (m matrix) subRows(rows []int) matrix {
+	out := newMatrix(len(rows), m.cols)
+	for i, r := range rows {
+		copy(out.row(i), m.row(r))
+	}
+	return out
+}

@@ -1,0 +1,278 @@
+package erasure
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Coder encodes K data shards into M parity shards and reconstructs missing
+// shards from any K survivors. A Coder is immutable after construction and
+// safe for concurrent use.
+type Coder struct {
+	k, m int
+	// enc is the (k+m)×k systematic encoding matrix: the top k×k block is
+	// the identity (data shards pass through), the bottom m×k block
+	// generates parity.
+	enc matrix
+}
+
+// Common errors returned by Coder methods.
+var (
+	ErrTooFewShards  = errors.New("erasure: not enough shards to reconstruct")
+	ErrShardSize     = errors.New("erasure: shards have mismatched sizes")
+	ErrInvalidShards = errors.New("erasure: invalid shard slice")
+)
+
+// New returns a Coder for k data and m parity shards. The paper's production
+// geometry is k=7, m=2 (§4.2); tests also use smaller geometries.
+func New(k, m int) (*Coder, error) {
+	if k <= 0 || m <= 0 || k+m > 256 {
+		return nil, fmt.Errorf("erasure: invalid geometry %d+%d", k, m)
+	}
+	// Build a systematic matrix from a Vandermonde matrix: multiply by the
+	// inverse of its top k×k block so the top becomes the identity while
+	// preserving the any-k-rows-invertible property.
+	v := vandermonde(k+m, k)
+	top := v.subRows(intRange(0, k))
+	topInv, err := top.invert()
+	if err != nil {
+		// Vandermonde top blocks are always invertible; reaching this
+		// indicates a bug in the field arithmetic.
+		panic(err)
+	}
+	return &Coder{k: k, m: m, enc: v.mul(topInv)}, nil
+}
+
+// DataShards returns k.
+func (c *Coder) DataShards() int { return c.k }
+
+// ParityShards returns m.
+func (c *Coder) ParityShards() int { return c.m }
+
+// TotalShards returns k+m.
+func (c *Coder) TotalShards() int { return c.k + c.m }
+
+// Encode computes the m parity shards from the k data shards. shards must
+// hold k+m equal-length slices; the first k are read, the last m are
+// overwritten.
+func (c *Coder) Encode(shards [][]byte) error {
+	if err := c.checkShards(shards, false); err != nil {
+		return err
+	}
+	for p := 0; p < c.m; p++ {
+		row := c.enc.row(c.k + p)
+		out := shards[c.k+p]
+		mulSet(out, shards[0], row[0])
+		for d := 1; d < c.k; d++ {
+			mulAdd(out, shards[d], row[d])
+		}
+	}
+	return nil
+}
+
+// Verify reports whether the parity shards are consistent with the data
+// shards.
+func (c *Coder) Verify(shards [][]byte) (bool, error) {
+	if err := c.checkShards(shards, false); err != nil {
+		return false, err
+	}
+	buf := make([]byte, len(shards[0]))
+	for p := 0; p < c.m; p++ {
+		row := c.enc.row(c.k + p)
+		mulSet(buf, shards[0], row[0])
+		for d := 1; d < c.k; d++ {
+			mulAdd(buf, shards[d], row[d])
+		}
+		for i, b := range buf {
+			if b != shards[c.k+p][i] {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+// Reconstruct rebuilds all missing shards in place. A shard is missing when
+// its slice is nil; present shards must share one length. Reconstruction
+// needs at least k present shards.
+func (c *Coder) Reconstruct(shards [][]byte) error {
+	if err := c.checkShards(shards, true); err != nil {
+		return err
+	}
+	size := shardSize(shards)
+	present := make([]int, 0, c.k)
+	missing := make([]int, 0, c.m)
+	for i, s := range shards {
+		if s != nil {
+			present = append(present, i)
+		} else {
+			missing = append(missing, i)
+		}
+	}
+	if len(missing) == 0 {
+		return nil
+	}
+	if len(present) < c.k {
+		return ErrTooFewShards
+	}
+	present = present[:c.k] // any k survivors suffice
+
+	// Invert the k×k matrix that maps data shards to the surviving shards;
+	// multiplying survivors by the inverse recovers the data shards.
+	subInv, err := c.enc.subRows(present).invert()
+	if err != nil {
+		return err
+	}
+
+	// Recover missing data shards directly.
+	data := make([][]byte, c.k)
+	for d := 0; d < c.k; d++ {
+		if shards[d] != nil {
+			data[d] = shards[d]
+		}
+	}
+	for _, idx := range missing {
+		if idx >= c.k {
+			continue
+		}
+		out := make([]byte, size)
+		row := subInv.row(idx)
+		mulSet(out, shards[present[0]], row[0])
+		for j := 1; j < c.k; j++ {
+			mulAdd(out, shards[present[j]], row[j])
+		}
+		shards[idx] = out
+		data[idx] = out
+	}
+	// With all data shards in hand, recompute missing parity.
+	for _, idx := range missing {
+		if idx < c.k {
+			continue
+		}
+		out := make([]byte, size)
+		row := c.enc.row(idx)
+		mulSet(out, data[0], row[0])
+		for d := 1; d < c.k; d++ {
+			mulAdd(out, data[d], row[d])
+		}
+		shards[idx] = out
+	}
+	return nil
+}
+
+// ReconstructData rebuilds only the missing data shards (parity left nil).
+// Purity's read path uses this to serve a read that lands on a busy or
+// failed drive without recomputing parity (§4.4).
+func (c *Coder) ReconstructData(shards [][]byte) error {
+	if err := c.checkShards(shards, true); err != nil {
+		return err
+	}
+	size := shardSize(shards)
+	present := make([]int, 0, c.k)
+	for i, s := range shards {
+		if s != nil {
+			present = append(present, i)
+		}
+	}
+	if len(present) < c.k {
+		return ErrTooFewShards
+	}
+	present = present[:c.k]
+	needed := false
+	for d := 0; d < c.k; d++ {
+		if shards[d] == nil {
+			needed = true
+		}
+	}
+	if !needed {
+		return nil
+	}
+	subInv, err := c.enc.subRows(present).invert()
+	if err != nil {
+		return err
+	}
+	for d := 0; d < c.k; d++ {
+		if shards[d] != nil {
+			continue
+		}
+		out := make([]byte, size)
+		row := subInv.row(d)
+		mulSet(out, shards[present[0]], row[0])
+		for j := 1; j < c.k; j++ {
+			mulAdd(out, shards[present[j]], row[j])
+		}
+		shards[d] = out
+	}
+	return nil
+}
+
+// Split slices data into k data shards plus m empty parity shards, padding
+// the tail shard with zeros. Join reverses it.
+func (c *Coder) Split(data []byte) [][]byte {
+	per := (len(data) + c.k - 1) / c.k
+	if per == 0 {
+		per = 1
+	}
+	shards := make([][]byte, c.k+c.m)
+	for i := 0; i < c.k; i++ {
+		shards[i] = make([]byte, per)
+		lo := i * per
+		if lo < len(data) {
+			copy(shards[i], data[lo:])
+		}
+	}
+	for i := c.k; i < c.k+c.m; i++ {
+		shards[i] = make([]byte, per)
+	}
+	return shards
+}
+
+// Join concatenates the data shards and returns the first n bytes.
+func (c *Coder) Join(shards [][]byte, n int) []byte {
+	out := make([]byte, 0, n)
+	for i := 0; i < c.k && len(out) < n; i++ {
+		out = append(out, shards[i]...)
+	}
+	return out[:n]
+}
+
+func (c *Coder) checkShards(shards [][]byte, allowNil bool) error {
+	if len(shards) != c.k+c.m {
+		return ErrInvalidShards
+	}
+	size := -1
+	for _, s := range shards {
+		if s == nil {
+			if !allowNil {
+				return ErrInvalidShards
+			}
+			continue
+		}
+		if size < 0 {
+			size = len(s)
+		} else if len(s) != size {
+			return ErrShardSize
+		}
+	}
+	if size <= 0 {
+		return ErrInvalidShards
+	}
+	return nil
+}
+
+func shardSize(shards [][]byte) int {
+	for _, s := range shards {
+		if s != nil {
+			return len(s)
+		}
+	}
+	return 0
+}
+
+func intRange(lo, hi int) []int {
+	out := make([]int, hi-lo)
+	for i := range out {
+		out[i] = lo + i
+	}
+	return out
+}

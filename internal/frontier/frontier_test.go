@@ -1,0 +1,170 @@
+package frontier
+
+import (
+	"bytes"
+	"testing"
+
+	"purity/internal/layout"
+	"purity/internal/ssd"
+)
+
+func sampleCheckpoint() *Checkpoint {
+	return &Checkpoint{
+		Epoch:        7,
+		SeqWatermark: 12345,
+		NextMedium:   3,
+		NextVolume:   4,
+		NextSegment:  5,
+		Frontier:     []layout.AU{{Drive: 0, Index: 2}, {Drive: 1, Index: 3}},
+		Speculative:  []layout.AU{{Drive: 2, Index: 9}},
+		Segments: []layout.SegmentInfo{
+			{ID: 1, AUs: []layout.AU{{Drive: 0, Index: 1}, {Drive: 1, Index: 1}, {Drive: 2, Index: 1}, {Drive: 3, Index: 1}, {Drive: 4, Index: 1}}, Stripes: 4, Sealed: true, SeqMin: 1, SeqMax: 99},
+			{ID: 2, AUs: []layout.AU{{Drive: 1, Index: 2}, {Drive: 2, Index: 2}, {Drive: 3, Index: 2}, {Drive: 4, Index: 2}, {Drive: 5, Index: 2}}, Stripes: 1, Sealed: false, SeqMin: 100, SeqMax: 150},
+		},
+		Patches: [][]byte{[]byte("patch-blob-1"), []byte("patch-blob-two")},
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	in := sampleCheckpoint()
+	raw := Marshal(in)
+	out, err := Unmarshal(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Epoch != in.Epoch || out.SeqWatermark != in.SeqWatermark ||
+		out.NextMedium != in.NextMedium || out.NextVolume != in.NextVolume || out.NextSegment != in.NextSegment {
+		t.Fatalf("header mismatch: %+v", out)
+	}
+	if len(out.Frontier) != 2 || out.Frontier[1] != (layout.AU{Drive: 1, Index: 3}) {
+		t.Fatalf("frontier = %+v", out.Frontier)
+	}
+	if len(out.Speculative) != 1 {
+		t.Fatalf("speculative = %+v", out.Speculative)
+	}
+	if len(out.Segments) != 2 {
+		t.Fatalf("segments = %+v", out.Segments)
+	}
+	s := out.Segments[0]
+	if s.ID != 1 || !s.Sealed || s.Stripes != 4 || s.SeqMax != 99 || len(s.AUs) != 5 {
+		t.Fatalf("segment 0 = %+v", s)
+	}
+	if out.Segments[1].Sealed {
+		t.Fatal("unsealed flag lost")
+	}
+	if len(out.Patches) != 2 || !bytes.Equal(out.Patches[1], []byte("patch-blob-two")) {
+		t.Fatalf("patches = %q", out.Patches)
+	}
+}
+
+func TestUnmarshalRejectsCorruption(t *testing.T) {
+	raw := Marshal(sampleCheckpoint())
+	for _, i := range []int{0, 4, 8, 12, len(raw) / 2, len(raw) - 1} {
+		bad := bytes.Clone(raw)
+		bad[i] ^= 0xff
+		if _, err := Unmarshal(bad); err == nil {
+			t.Errorf("corrupt byte %d accepted", i)
+		}
+	}
+	if _, err := Unmarshal(nil); err != ErrNoCheckpoint {
+		t.Fatalf("nil: %v", err)
+	}
+	if _, err := Unmarshal(raw[:8]); err != ErrNoCheckpoint {
+		t.Fatalf("short: %v", err)
+	}
+}
+
+func newDrives(t *testing.T, n int) []*ssd.Device {
+	t.Helper()
+	cfg := layout.TestConfig()
+	dcfg := ssd.DefaultConfig()
+	dcfg.EraseBlockSize = int(cfg.AUSize())
+	dcfg.Capacity = 8 * cfg.AUSize()
+	drives := make([]*ssd.Device, n)
+	for i := range drives {
+		var err error
+		drives[i], err = ssd.New("d", dcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return drives
+}
+
+func TestBootRegionWriteRead(t *testing.T) {
+	cfg := layout.TestConfig()
+	drives := newDrives(t, 6)
+	br := NewBootRegion(cfg, drives)
+
+	// Fresh shelf: no checkpoint.
+	if _, _, err := br.ReadLatest(0); err != ErrNoCheckpoint {
+		t.Fatalf("fresh shelf: %v", err)
+	}
+
+	c1 := sampleCheckpoint()
+	c1.Epoch = 1
+	if _, err := br.Write(0, c1); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := br.ReadLatest(0)
+	if err != nil || got.Epoch != 1 {
+		t.Fatalf("read = %+v, %v", got, err)
+	}
+
+	// A newer epoch in the other slot wins.
+	c2 := sampleCheckpoint()
+	c2.Epoch = 2
+	c2.NextVolume = 99
+	if _, err := br.Write(0, c2); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err = br.ReadLatest(0)
+	if err != nil || got.Epoch != 2 || got.NextVolume != 99 {
+		t.Fatalf("read = %+v, %v", got, err)
+	}
+	// Corrupting two replicas' boot AUs still leaves the third readable.
+	drives[0].CorruptBlock(0)
+	drives[1].CorruptBlock(0)
+	got, _, err = br.ReadLatest(0)
+	if err != nil || got.Epoch != 2 {
+		t.Fatalf("surviving replica read = %+v, %v", got, err)
+	}
+}
+
+func TestBootRegionSurvivesDriveFailures(t *testing.T) {
+	cfg := layout.TestConfig()
+	drives := newDrives(t, 6)
+	br := NewBootRegion(cfg, drives)
+	c := sampleCheckpoint()
+	if _, err := br.Write(0, c); err != nil {
+		t.Fatal(err)
+	}
+	// Two of the three replicas die; the third still serves.
+	drives[0].Fail()
+	drives[1].Fail()
+	got, _, err := br.ReadLatest(0)
+	if err != nil || got.Epoch != c.Epoch {
+		t.Fatalf("read with failed replicas: %+v, %v", got, err)
+	}
+	// Writes also tolerate replica loss.
+	c.Epoch++
+	if _, err := br.Write(0, c); err != nil {
+		t.Fatal(err)
+	}
+	// All replicas down: write fails loudly.
+	drives[2].Fail()
+	if _, err := br.Write(0, c); err == nil {
+		t.Fatal("write with no live replicas succeeded")
+	}
+}
+
+func TestBootRegionTooLarge(t *testing.T) {
+	cfg := layout.TestConfig()
+	drives := newDrives(t, 3)
+	br := NewBootRegion(cfg, drives)
+	c := sampleCheckpoint()
+	c.Patches = [][]byte{make([]byte, int(cfg.AUSize()))}
+	if _, err := br.Write(0, c); err == nil {
+		t.Fatal("oversized checkpoint accepted")
+	}
+}

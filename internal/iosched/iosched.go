@@ -1,0 +1,106 @@
+// Package iosched implements the request-scheduling policies of §4.4 of
+// the paper: tail-latency tracking and the hedging rule — "measure the
+// latency of each request and use Reed-Solomon to reconstruct requested
+// data whenever a request takes longer than our 95th percentile latency".
+// The busy-drive avoidance half of §4.4 lives in the layout reader (it
+// needs stripe geometry); this package supplies the adaptive thresholds.
+package iosched
+
+import (
+	"sort"
+	"sync"
+
+	"purity/internal/sim"
+)
+
+// Tracker keeps a sliding window of recent request latencies and answers
+// percentile queries against it. Safe for concurrent use.
+type Tracker struct {
+	mu     sync.Mutex
+	window []sim.Time
+	pos    int
+	filled bool
+	sorted []sim.Time
+	dirty  bool
+}
+
+// NewTracker returns a tracker over a window of n observations.
+func NewTracker(n int) *Tracker {
+	if n <= 0 {
+		n = 1024
+	}
+	return &Tracker{window: make([]sim.Time, n)}
+}
+
+// Record adds a request latency.
+func (t *Tracker) Record(d sim.Time) {
+	t.mu.Lock()
+	t.window[t.pos] = d
+	t.pos++
+	if t.pos == len(t.window) {
+		t.pos = 0
+		t.filled = true
+	}
+	t.dirty = true
+	t.mu.Unlock()
+}
+
+// Percentile returns the p-th percentile of the window (0 when empty).
+func (t *Tracker) Percentile(p float64) sim.Time {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.pos
+	if t.filled {
+		n = len(t.window)
+	}
+	if n == 0 {
+		return 0
+	}
+	if t.dirty {
+		t.sorted = append(t.sorted[:0], t.window[:n]...)
+		sort.Slice(t.sorted, func(i, j int) bool { return t.sorted[i] < t.sorted[j] })
+		t.dirty = false
+	}
+	idx := int(p / 100 * float64(len(t.sorted)))
+	if idx >= len(t.sorted) {
+		idx = len(t.sorted) - 1
+	}
+	return t.sorted[idx]
+}
+
+// Count returns the number of observations in the window.
+func (t *Tracker) Count() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.filled {
+		return len(t.window)
+	}
+	return t.pos
+}
+
+// Policy bundles the read-path scheduling decisions.
+type Policy struct {
+	// AvoidBusy treats drives mid-program as failed and reconstructs
+	// around them.
+	AvoidBusy bool
+	// HedgePercentile (>0 enables hedging): when a direct read's latency
+	// exceeds this percentile of recent reads, reissue it as a
+	// reconstruction and take the earlier completion.
+	HedgePercentile float64
+	// MinHedgeSamples gates hedging until the tracker has context.
+	MinHedgeSamples int
+}
+
+// DefaultPolicy mirrors the paper: busy avoidance on, hedge at p95.
+func DefaultPolicy() Policy {
+	return Policy{AvoidBusy: true, HedgePercentile: 95, MinHedgeSamples: 64}
+}
+
+// ShouldHedge reports whether a read that took `latency` warrants a
+// reconstruction race, given recent history.
+func (p Policy) ShouldHedge(t *Tracker, latency sim.Time) bool {
+	if p.HedgePercentile <= 0 || t.Count() < p.MinHedgeSamples {
+		return false
+	}
+	return latency > t.Percentile(p.HedgePercentile)
+}

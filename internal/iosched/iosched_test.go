@@ -1,0 +1,67 @@
+package iosched
+
+import (
+	"testing"
+
+	"purity/internal/sim"
+)
+
+func TestTrackerPercentile(t *testing.T) {
+	tr := NewTracker(100)
+	if tr.Percentile(95) != 0 {
+		t.Fatal("empty tracker nonzero")
+	}
+	for i := 1; i <= 100; i++ {
+		tr.Record(sim.Time(i))
+	}
+	if got := tr.Percentile(95); got != 96 {
+		t.Fatalf("p95 = %v, want 96", got)
+	}
+	if got := tr.Percentile(0); got != 1 {
+		t.Fatalf("p0 = %v", got)
+	}
+	if tr.Count() != 100 {
+		t.Fatalf("Count = %d", tr.Count())
+	}
+}
+
+func TestTrackerSlidingWindow(t *testing.T) {
+	tr := NewTracker(10)
+	for i := 0; i < 10; i++ {
+		tr.Record(1000)
+	}
+	// New regime: window slides, old values age out.
+	for i := 0; i < 10; i++ {
+		tr.Record(1)
+	}
+	if got := tr.Percentile(95); got != 1 {
+		t.Fatalf("p95 after regime change = %v", got)
+	}
+	if tr.Count() != 10 {
+		t.Fatalf("Count = %d", tr.Count())
+	}
+}
+
+func TestPolicyShouldHedge(t *testing.T) {
+	p := DefaultPolicy()
+	tr := NewTracker(128)
+	// Not enough samples: never hedge.
+	tr.Record(100)
+	if p.ShouldHedge(tr, sim.Second) {
+		t.Fatal("hedged without history")
+	}
+	for i := 0; i < 128; i++ {
+		tr.Record(100 * sim.Microsecond)
+	}
+	if p.ShouldHedge(tr, 90*sim.Microsecond) {
+		t.Fatal("hedged a fast read")
+	}
+	if !p.ShouldHedge(tr, 5*sim.Millisecond) {
+		t.Fatal("did not hedge a slow read")
+	}
+	// Hedging disabled.
+	off := Policy{HedgePercentile: 0}
+	if off.ShouldHedge(tr, sim.Second) {
+		t.Fatal("disabled policy hedged")
+	}
+}

@@ -1,0 +1,298 @@
+package layout
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"purity/internal/erasure"
+	"purity/internal/sim"
+	"purity/internal/ssd"
+)
+
+// ErrUnrecoverable is returned when fewer than K shards of a stripe are
+// readable — more simultaneous failures than the parity geometry tolerates.
+var ErrUnrecoverable = errors.New("layout: too few readable shards to reconstruct")
+
+// ReadStats counts how a read was served, feeding experiment E2 (the
+// paper's ≈1.3× read-cost model for write-heavy workloads).
+type ReadStats struct {
+	DirectShardReads   int64 // shard ranges read from their home drive
+	ReconstructedReads int64 // shard ranges rebuilt from peers
+	ShardBytesRead     int64 // total bytes moved from drives
+	BusyAvoided        int64 // reconstructions triggered by the busy-drive policy
+}
+
+// Add accumulates other into s.
+func (s *ReadStats) Add(other ReadStats) {
+	s.DirectShardReads += other.DirectShardReads
+	s.ReconstructedReads += other.ReconstructedReads
+	s.ShardBytesRead += other.ShardBytesRead
+	s.BusyAvoided += other.BusyAvoided
+}
+
+// Reader serves segment-logical reads, reconstructing from parity when a
+// drive is failed, corrupt, or — under the avoidBusy policy — busy
+// programming (§4.4: "treat SSDs that are in the process of writing data as
+// though they have failed").
+type Reader struct {
+	cfg    Config
+	drives []*ssd.Device
+	coder  *erasure.Coder
+}
+
+// NewReader returns a reader over the drive set.
+func NewReader(cfg Config, drives []*ssd.Device, coder *erasure.Coder) *Reader {
+	return &Reader{cfg: cfg, drives: drives, coder: coder}
+}
+
+// ReadRange reads n logical bytes at offset off within the segment. The
+// returned completion time is the latest involved drive completion.
+func (r *Reader) ReadRange(at sim.Time, info SegmentInfo, off int64, n int, avoidBusy bool) ([]byte, sim.Time, ReadStats, error) {
+	var stats ReadStats
+	if off < 0 || off+int64(n) > int64(info.Stripes)*int64(r.cfg.StripeDataBytes()) {
+		return nil, at, stats, fmt.Errorf("layout: read [%d,+%d) outside segment %d (%d stripes)", off, n, info.ID, info.Stripes)
+	}
+	out := make([]byte, n)
+	done := at
+	stripeBytes := int64(r.cfg.StripeDataBytes())
+	pos := off
+	remaining := n
+	outPos := 0
+	for remaining > 0 {
+		s := int(pos / stripeBytes)
+		within := pos % stripeBytes
+		chunk := stripeBytes - within
+		if chunk > int64(remaining) {
+			chunk = int64(remaining)
+		}
+		d, err := r.readWithinStripe(at, info, s, within, out[outPos:outPos+int(chunk)], avoidBusy, &stats)
+		if err != nil {
+			return nil, done, stats, err
+		}
+		if d > done {
+			done = d
+		}
+		pos += chunk
+		outPos += int(chunk)
+		remaining -= int(chunk)
+	}
+	return out, done, stats, nil
+}
+
+// readWithinStripe fills dst from stripe s starting at logical offset
+// `within` the stripe.
+func (r *Reader) readWithinStripe(at sim.Time, info SegmentInfo, s int, within int64, dst []byte, avoidBusy bool, stats *ReadStats) (sim.Time, error) {
+	dataSlot, _ := stripeSlots(r.cfg, s)
+	wu := int64(r.cfg.WriteUnit)
+	done := at
+	pos := within
+	outPos := 0
+	for outPos < len(dst) {
+		d := int(pos / wu) // data shard index
+		shardOff := pos % wu
+		chunk := wu - shardOff
+		if chunk > int64(len(dst)-outPos) {
+			chunk = int64(len(dst) - outPos)
+		}
+		slot := dataSlot[d]
+		t, err := r.readShardRange(at, info, s, slot, shardOff, dst[outPos:outPos+int(chunk)], avoidBusy, stats)
+		if err != nil {
+			return done, err
+		}
+		if t > done {
+			done = t
+		}
+		pos += chunk
+		outPos += int(chunk)
+	}
+	return done, nil
+}
+
+// readShardRange reads [shardOff, shardOff+len(dst)) of the write unit that
+// slot holds in stripe s, reconstructing if the home drive is unavailable.
+func (r *Reader) readShardRange(at sim.Time, info SegmentInfo, s, slot int, shardOff int64, dst []byte, avoidBusy bool, stats *ReadStats) (sim.Time, error) {
+	au := info.AUs[slot]
+	drive := r.drives[au.Drive]
+	devOff := au.Offset(r.cfg) + int64(s)*int64(r.cfg.WriteUnit) + shardOff
+
+	busy := avoidBusy && drive.BusyRangeAt(at, devOff, len(dst))
+	if !busy && !drive.Failed() {
+		done, err := drive.ReadAt(at, dst, devOff)
+		if err == nil {
+			stats.DirectShardReads++
+			stats.ShardBytesRead += int64(len(dst))
+			return done, nil
+		}
+	}
+	if busy {
+		stats.BusyAvoided++
+	}
+	done, err := r.reconstructShardRange(at, info, s, slot, shardOff, dst, stats)
+	if err != nil && !drive.Failed() {
+		// Reconstruction impossible (too many peers failed or busy) but the
+		// home drive is merely slow: queue behind its program and read it.
+		d2, err2 := drive.ReadAt(at, dst, devOff)
+		if err2 == nil {
+			stats.DirectShardReads++
+			stats.ShardBytesRead += int64(len(dst))
+			return d2, nil
+		}
+	}
+	return done, err
+}
+
+// reconstructShardRange rebuilds the wanted range of shard `slot` from K of
+// the other shards, preferring idle, healthy drives.
+func (r *Reader) reconstructShardRange(at sim.Time, info SegmentInfo, s, slot int, shardOff int64, dst []byte, stats *ReadStats) (sim.Time, error) {
+	k, m := r.cfg.DataShards, r.cfg.ParityShards
+	dataSlot, paritySlot := stripeSlots(r.cfg, s)
+	// coderIdx maps physical slot -> coder shard index.
+	coderIdx := make([]int, k+m)
+	for d, sl := range dataSlot {
+		coderIdx[sl] = d
+	}
+	for j, sl := range paritySlot {
+		coderIdx[sl] = k + j
+	}
+
+	// Choose donor slots: drives whose relevant dies are idle first, then
+	// busy ones.
+	var idle, busyDonors []int
+	for sl := 0; sl < k+m; sl++ {
+		if sl == slot {
+			continue
+		}
+		au := info.AUs[sl]
+		drive := r.drives[au.Drive]
+		if drive.Failed() {
+			continue
+		}
+		donorOff := au.Offset(r.cfg) + int64(s)*int64(r.cfg.WriteUnit) + shardOff
+		if drive.BusyRangeAt(at, donorOff, len(dst)) {
+			busyDonors = append(busyDonors, sl)
+		} else {
+			idle = append(idle, sl)
+		}
+	}
+	donors := append(idle, busyDonors...)
+	if len(donors) < k {
+		return at, ErrUnrecoverable
+	}
+
+	shards := make([][]byte, k+m)
+	done := at
+	got := 0
+	for _, sl := range donors {
+		if got == k {
+			break
+		}
+		au := info.AUs[sl]
+		buf := make([]byte, len(dst))
+		devOff := au.Offset(r.cfg) + int64(s)*int64(r.cfg.WriteUnit) + shardOff
+		t, err := r.drives[au.Drive].ReadAt(at, buf, devOff)
+		if err != nil {
+			continue // corrupt or newly failed donor: try the next
+		}
+		shards[coderIdx[sl]] = buf
+		stats.ShardBytesRead += int64(len(buf))
+		got++
+		if t > done {
+			done = t
+		}
+	}
+	if got < k {
+		return done, ErrUnrecoverable
+	}
+	if err := r.coder.Reconstruct(shards); err != nil {
+		return done, err
+	}
+	copy(dst, shards[coderIdx[slot]])
+	stats.ReconstructedReads++
+	return done, nil
+}
+
+// ReadAUTrailer reads and parses the trailer page of an AU. ErrNoTrailer
+// means the AU is unsealed or unused.
+func (r *Reader) ReadAUTrailer(at sim.Time, au AU) (AUTrailer, sim.Time, error) {
+	page := make([]byte, r.cfg.PageSize)
+	off := au.Offset(r.cfg) + int64(r.cfg.StripesPerAU)*int64(r.cfg.WriteUnit)
+	done, err := r.drives[au.Drive].ReadAt(at, page, off)
+	if err != nil {
+		return AUTrailer{}, done, err
+	}
+	t, err := parseAUTrailer(r.cfg, page)
+	return t, done, err
+}
+
+// StripeLog holds the log records recovered from one segio.
+type StripeLog struct {
+	Records [][]byte
+	Trailer segioTrailer
+}
+
+// SeqRange reports the sequence numbers covered by the stripe's records.
+func (l StripeLog) SeqRange() (lo, hi uint64) {
+	return uint64(l.Trailer.SeqMin), uint64(l.Trailer.SeqMax)
+}
+
+// ReadStripeLogs reads stripe s of the segment, validates its checksum and
+// returns the log records. Recovery calls this for segments in the frontier
+// set (§4.3); the stripe checksum rejects torn segios from a crash.
+func (r *Reader) ReadStripeLogs(at sim.Time, info SegmentInfo, s int) (StripeLog, sim.Time, error) {
+	raw, done, _, err := r.ReadRange(at, withStripes(info, s+1), int64(s)*int64(r.cfg.StripeDataBytes()), r.cfg.StripeDataBytes(), false)
+	if err != nil {
+		return StripeLog{}, done, err
+	}
+	t, err := parseSegioTrailer(raw)
+	if err != nil {
+		return StripeLog{}, done, err
+	}
+	out := StripeLog{Trailer: t}
+	pos := int(t.LogStart)
+	end := len(raw) - segioTrailerSize
+	for i := uint32(0); i < t.RecCount; i++ {
+		n, consumed := binary.Uvarint(raw[pos:end])
+		if consumed <= 0 || pos+consumed+int(n) > end {
+			return StripeLog{}, done, errors.New("layout: corrupt log record framing")
+		}
+		pos += consumed
+		out.Records = append(out.Records, raw[pos:pos+int(n)])
+		pos += int(n)
+	}
+	return out, done, nil
+}
+
+// withStripes returns info with Stripes raised to at least n, letting the
+// recovery path read stripes of unsealed segments whose true stripe count
+// is not yet known.
+func withStripes(info SegmentInfo, n int) SegmentInfo {
+	if info.Stripes < n {
+		info.Stripes = n
+	}
+	return info
+}
+
+// VerifyStripe re-reads every write unit of stripe s and checks it against
+// the CRCs in the trailer t. It returns the slots whose write units are
+// corrupt or unreadable. The scrubber (§5.1) uses this to find latent
+// damage before a second failure makes it unrecoverable.
+func (r *Reader) VerifyStripe(at sim.Time, t AUTrailer, s int) (badSlots []int, done sim.Time) {
+	done = at
+	for slot, au := range t.AUs {
+		buf := make([]byte, r.cfg.WriteUnit)
+		devOff := au.Offset(r.cfg) + int64(s)*int64(r.cfg.WriteUnit)
+		d, err := r.drives[au.Drive].ReadAt(at, buf, devOff)
+		if d > done {
+			done = d
+		}
+		if err != nil {
+			badSlots = append(badSlots, slot)
+			continue
+		}
+		if crcOf(buf) != t.WUCRCs[s][slot] {
+			badSlots = append(badSlots, slot)
+		}
+	}
+	return badSlots, done
+}

@@ -1,0 +1,175 @@
+package layout
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"purity/internal/tuple"
+)
+
+// Segio trailer: the last bytes of every stripe's logical space. It records
+// where data ends and log records begin, the sequence-number range of the
+// log records, and a CRC of the whole logical stripe. Recovery reads these
+// to find log records in unsealed segments.
+const (
+	segioMagic       = 0x53474f50 // "POGS"
+	segioTrailerSize = 40
+)
+
+type segioTrailer struct {
+	DataLen  uint32
+	LogStart uint32
+	RecCount uint32
+	SeqMin   tuple.Seq
+	SeqMax   tuple.Seq
+}
+
+// putSegioTrailer writes the trailer into the last segioTrailerSize bytes
+// of the logical stripe and stamps the stripe CRC (covering everything
+// before the CRC field).
+func putSegioTrailer(stripe []byte, t segioTrailer) {
+	off := len(stripe) - segioTrailerSize
+	b := stripe[off:]
+	binary.LittleEndian.PutUint32(b[0:], segioMagic)
+	binary.LittleEndian.PutUint32(b[4:], t.DataLen)
+	binary.LittleEndian.PutUint32(b[8:], t.LogStart)
+	binary.LittleEndian.PutUint32(b[12:], t.RecCount)
+	binary.LittleEndian.PutUint64(b[16:], uint64(t.SeqMin))
+	binary.LittleEndian.PutUint64(b[24:], uint64(t.SeqMax))
+	// 4 bytes reserved at b[32:36].
+	binary.LittleEndian.PutUint32(b[36:], crc32.ChecksumIEEE(stripe[:len(stripe)-4]))
+}
+
+// parseSegioTrailer validates and parses the trailer of a logical stripe.
+func parseSegioTrailer(stripe []byte) (segioTrailer, error) {
+	if len(stripe) < segioTrailerSize {
+		return segioTrailer{}, errors.New("layout: stripe shorter than trailer")
+	}
+	b := stripe[len(stripe)-segioTrailerSize:]
+	if binary.LittleEndian.Uint32(b) != segioMagic {
+		return segioTrailer{}, errors.New("layout: bad segio magic")
+	}
+	want := binary.LittleEndian.Uint32(b[36:])
+	if crc32.ChecksumIEEE(stripe[:len(stripe)-4]) != want {
+		return segioTrailer{}, errors.New("layout: segio checksum mismatch")
+	}
+	t := segioTrailer{
+		DataLen:  binary.LittleEndian.Uint32(b[4:]),
+		LogStart: binary.LittleEndian.Uint32(b[8:]),
+		RecCount: binary.LittleEndian.Uint32(b[12:]),
+		SeqMin:   tuple.Seq(binary.LittleEndian.Uint64(b[16:])),
+		SeqMax:   tuple.Seq(binary.LittleEndian.Uint64(b[24:])),
+	}
+	if int(t.DataLen) > len(stripe) || int(t.LogStart) > len(stripe) || t.DataLen > t.LogStart {
+		return segioTrailer{}, errors.New("layout: segio trailer out of range")
+	}
+	return t, nil
+}
+
+// AU trailer: the last page of every AU, written at seal time (so AU writes
+// stay purely sequential). Each shard's trailer replicates the full segment
+// description, making segments self-describing from any single surviving
+// drive (§4.3: "segments are self-describing").
+const auMagic = 0x54554150 // "PAUT"
+
+// AUTrailer is the decoded seal record of one AU.
+type AUTrailer struct {
+	Segment SegmentID
+	Shard   int // which shard of the segment this AU holds
+	Stripes int // stripes written (== StripesPerAU when full)
+	SeqMin  tuple.Seq
+	SeqMax  tuple.Seq
+	AUs     []AU       // the full shard placement, replicated
+	WUCRCs  [][]uint32 // [stripe][slot] CRC of each write unit, for scrub
+}
+
+// marshalAUTrailer serializes t into a PageSize buffer.
+func marshalAUTrailer(c Config, t AUTrailer) ([]byte, error) {
+	var b []byte
+	b = binary.LittleEndian.AppendUint32(b, auMagic)
+	b = binary.LittleEndian.AppendUint64(b, uint64(t.Segment))
+	b = binary.LittleEndian.AppendUint16(b, uint16(t.Shard))
+	b = binary.LittleEndian.AppendUint16(b, uint16(t.Stripes))
+	b = binary.LittleEndian.AppendUint64(b, uint64(t.SeqMin))
+	b = binary.LittleEndian.AppendUint64(b, uint64(t.SeqMax))
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(t.AUs)))
+	for _, au := range t.AUs {
+		b = binary.LittleEndian.AppendUint32(b, uint32(au.Drive))
+		b = binary.LittleEndian.AppendUint64(b, uint64(au.Index))
+	}
+	for _, row := range t.WUCRCs {
+		for _, crc := range row {
+			b = binary.LittleEndian.AppendUint32(b, crc)
+		}
+	}
+	b = binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(b))
+	if len(b) > c.PageSize {
+		return nil, fmt.Errorf("layout: AU trailer %d bytes exceeds page %d", len(b), c.PageSize)
+	}
+	page := make([]byte, c.PageSize)
+	copy(page, b)
+	return page, nil
+}
+
+// ErrNoTrailer marks an AU whose trailer page is absent or invalid — an
+// unsealed or never-used AU.
+var ErrNoTrailer = errors.New("layout: no valid AU trailer")
+
+// parseAUTrailer decodes an AU trailer page.
+func parseAUTrailer(c Config, page []byte) (AUTrailer, error) {
+	if len(page) < 38 {
+		return AUTrailer{}, ErrNoTrailer
+	}
+	if binary.LittleEndian.Uint32(page) != auMagic {
+		return AUTrailer{}, ErrNoTrailer
+	}
+	t := AUTrailer{
+		Segment: SegmentID(binary.LittleEndian.Uint64(page[4:])),
+		Shard:   int(binary.LittleEndian.Uint16(page[12:])),
+		Stripes: int(binary.LittleEndian.Uint16(page[14:])),
+		SeqMin:  tuple.Seq(binary.LittleEndian.Uint64(page[16:])),
+		SeqMax:  tuple.Seq(binary.LittleEndian.Uint64(page[24:])),
+	}
+	nAU := int(binary.LittleEndian.Uint16(page[32:]))
+	pos := 34
+	if nAU == 0 || nAU > 256 || pos+nAU*12 > len(page) {
+		return AUTrailer{}, ErrNoTrailer
+	}
+	for i := 0; i < nAU; i++ {
+		t.AUs = append(t.AUs, AU{
+			Drive: int(binary.LittleEndian.Uint32(page[pos:])),
+			Index: int64(binary.LittleEndian.Uint64(page[pos+4:])),
+		})
+		pos += 12
+	}
+	if pos+t.Stripes*nAU*4+4 > len(page) {
+		return AUTrailer{}, ErrNoTrailer
+	}
+	for s := 0; s < t.Stripes; s++ {
+		row := make([]uint32, nAU)
+		for i := range row {
+			row[i] = binary.LittleEndian.Uint32(page[pos:])
+			pos += 4
+		}
+		t.WUCRCs = append(t.WUCRCs, row)
+	}
+	want := binary.LittleEndian.Uint32(page[pos:])
+	if crc32.ChecksumIEEE(page[:pos]) != want {
+		return AUTrailer{}, ErrNoTrailer
+	}
+	return t, nil
+}
+
+// Info converts a trailer into the SegmentInfo it describes.
+func (t AUTrailer) Info() SegmentInfo {
+	return SegmentInfo{
+		ID:      t.Segment,
+		AUs:     t.AUs,
+		Stripes: t.Stripes,
+		Sealed:  true,
+		SeqMin:  t.SeqMin,
+		SeqMax:  t.SeqMax,
+	}
+}

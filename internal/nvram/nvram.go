@@ -1,0 +1,215 @@
+// Package nvram models the shelf NVRAM device Purity commits writes to
+// before acknowledging them (§4.1–4.2 of the paper). The production part is
+// an SLC flash device with bounded latency and a very high P/E rating,
+// living in the shelf so that controllers stay stateless: after a controller
+// failure the survivor replays the NVRAM log.
+//
+// The model is an append-only record log with fixed-plus-per-byte persist
+// latency, bounded capacity, and CRC-framed records so torn or corrupted
+// records are detected at replay.
+package nvram
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sync"
+
+	"purity/internal/sim"
+)
+
+// Config describes one NVRAM device.
+type Config struct {
+	Capacity       int64    // bytes of log space
+	PersistLatency sim.Time // fixed per-append cost
+	PerByte        sim.Time // additional cost per byte appended
+}
+
+// DefaultConfig returns the scaled-down device used by tests and benchmarks.
+// Latency is far below the SSDs' program latency, matching the SLC part the
+// paper describes.
+func DefaultConfig() Config {
+	return Config{
+		Capacity:       32 << 20,
+		PersistLatency: 10 * sim.Microsecond,
+		PerByte:        2, // 2 ns/B ≈ 500 MB/s per device
+	}
+}
+
+// Errors returned by Device.
+var (
+	ErrFull     = errors.New("nvram: log full")
+	ErrTooLarge = errors.New("nvram: record exceeds capacity")
+)
+
+// LSN identifies a record in the log. LSNs are dense and increase by one per
+// append; they are not byte offsets.
+type LSN uint64
+
+// Record is a replayed log record.
+type Record struct {
+	LSN     LSN
+	Payload []byte
+}
+
+const recordOverhead = 8 // uint32 length + uint32 crc
+
+// Device is one NVRAM log. It is dual-ported: both controllers hold a
+// reference and the survivor reads it during failover. Methods are safe for
+// concurrent use.
+type Device struct {
+	cfg Config
+
+	mu      sync.Mutex
+	records [][]byte // live records, records[0] has LSN base
+	base    LSN
+	used    int64
+	busy    sim.Time // device is serial: appends queue
+	appends int64
+}
+
+// New returns an empty device.
+func New(cfg Config) (*Device, error) {
+	if cfg.Capacity <= 0 {
+		return nil, fmt.Errorf("nvram: invalid capacity %d", cfg.Capacity)
+	}
+	return &Device{cfg: cfg}, nil
+}
+
+// Append persists payload as one record, returning its LSN and the simulated
+// completion time. The payload is copied. Append fails with ErrFull when the
+// log has no room; callers must Release old records (after flushing them to
+// segments) to make space.
+func (d *Device) Append(at sim.Time, payload []byte) (LSN, sim.Time, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	need := int64(len(payload)) + recordOverhead
+	if need > d.cfg.Capacity {
+		return 0, at, ErrTooLarge
+	}
+	if d.used+need > d.cfg.Capacity {
+		return 0, at, ErrFull
+	}
+	d.records = append(d.records, append([]byte(nil), payload...))
+	d.used += need
+	d.appends++
+	lsn := d.base + LSN(len(d.records)-1)
+
+	start := sim.Max(at, d.busy)
+	done := start + d.cfg.PersistLatency + sim.Time(int64(d.cfg.PerByte)*int64(len(payload)))
+	d.busy = done
+	return lsn, done, nil
+}
+
+// Release discards all records with LSN < upTo, freeing their space. It is
+// idempotent; releasing beyond the head is an error.
+func (d *Device) Release(upTo LSN) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if upTo <= d.base {
+		return nil
+	}
+	head := d.base + LSN(len(d.records))
+	if upTo > head {
+		return fmt.Errorf("nvram: release %d beyond head %d", upTo, head)
+	}
+	n := int(upTo - d.base)
+	for _, r := range d.records[:n] {
+		d.used -= int64(len(r)) + recordOverhead
+	}
+	d.records = append([][]byte(nil), d.records[n:]...)
+	d.base = upTo
+	return nil
+}
+
+// Records returns a copy of all live records in LSN order. Recovery replays
+// these; because all Purity tuples are immutable facts, replaying records
+// that were already flushed to segments is harmless (§4.3).
+func (d *Device) Records() []Record {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]Record, len(d.records))
+	for i, r := range d.records {
+		out[i] = Record{LSN: d.base + LSN(i), Payload: append([]byte(nil), r...)}
+	}
+	return out
+}
+
+// Head returns the LSN the next append will receive.
+func (d *Device) Head() LSN {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.base + LSN(len(d.records))
+}
+
+// Base returns the LSN of the oldest live record.
+func (d *Device) Base() LSN {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.base
+}
+
+// Used returns the bytes of log space currently occupied.
+func (d *Device) Used() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.used
+}
+
+// Capacity returns the configured log capacity.
+func (d *Device) Capacity() int64 { return d.cfg.Capacity }
+
+// Appends returns the lifetime append count.
+func (d *Device) Appends() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.appends
+}
+
+// Marshal serializes the live log into a flat image with per-record CRC
+// framing. Unmarshal (on a fresh device) restores it, skipping torn or
+// corrupt trailing records. This pair exists for crash-injection tests: a
+// crash is modelled as Marshal, optional truncation, then Unmarshal.
+func (d *Device) Marshal() []byte {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var out []byte
+	out = binary.LittleEndian.AppendUint64(out, uint64(d.base))
+	for _, r := range d.records {
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(r)))
+		out = binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(r))
+		out = append(out, r...)
+	}
+	return out
+}
+
+// Unmarshal replaces the device contents with the image produced by
+// Marshal. It stops at the first torn or corrupt record, returning how many
+// records survived.
+func (d *Device) Unmarshal(img []byte) (int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(img) < 8 {
+		return 0, errors.New("nvram: image too short")
+	}
+	d.base = LSN(binary.LittleEndian.Uint64(img))
+	d.records = nil
+	d.used = 0
+	pos := 8
+	for pos+recordOverhead <= len(img) {
+		n := int(binary.LittleEndian.Uint32(img[pos:]))
+		crc := binary.LittleEndian.Uint32(img[pos+4:])
+		if pos+recordOverhead+n > len(img) {
+			break // torn tail
+		}
+		payload := img[pos+recordOverhead : pos+recordOverhead+n]
+		if crc32.ChecksumIEEE(payload) != crc {
+			break // corrupt record: everything after is suspect
+		}
+		d.records = append(d.records, append([]byte(nil), payload...))
+		d.used += int64(n) + recordOverhead
+		pos += recordOverhead + n
+	}
+	return len(d.records), nil
+}

@@ -1,0 +1,248 @@
+package nvram
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"purity/internal/sim"
+)
+
+func newDevice(t *testing.T) *Device {
+	t.Helper()
+	d, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestAppendAssignsDenseLSNs(t *testing.T) {
+	d := newDevice(t)
+	for i := 0; i < 10; i++ {
+		lsn, _, err := d.Append(0, []byte{byte(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lsn != LSN(i) {
+			t.Fatalf("append %d got LSN %d", i, lsn)
+		}
+	}
+	if d.Head() != 10 {
+		t.Fatalf("Head = %d, want 10", d.Head())
+	}
+}
+
+func TestAppendLatency(t *testing.T) {
+	d := newDevice(t)
+	cfg := DefaultConfig()
+	payload := make([]byte, 1000)
+	_, done, err := d.Append(0, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cfg.PersistLatency + sim.Time(int64(cfg.PerByte)*1000)
+	if done != want {
+		t.Fatalf("done = %v, want %v", done, want)
+	}
+	// Appends serialize: a second append issued at time 0 queues.
+	_, done2, err := d.Append(0, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done2 != 2*want {
+		t.Fatalf("queued append done = %v, want %v", done2, 2*want)
+	}
+}
+
+func TestRecordsRoundTrip(t *testing.T) {
+	d := newDevice(t)
+	payloads := [][]byte{[]byte("alpha"), []byte("beta"), {}, []byte("gamma")}
+	for _, p := range payloads {
+		if _, _, err := d.Append(0, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recs := d.Records()
+	if len(recs) != len(payloads) {
+		t.Fatalf("got %d records, want %d", len(recs), len(payloads))
+	}
+	for i, r := range recs {
+		if r.LSN != LSN(i) || !bytes.Equal(r.Payload, payloads[i]) {
+			t.Fatalf("record %d = %+v", i, r)
+		}
+	}
+	// Records are copies: mutating the returned slice must not corrupt the log.
+	if len(recs[0].Payload) > 0 {
+		recs[0].Payload[0] = 'X'
+		if got := d.Records()[0].Payload[0]; got != 'a' {
+			t.Fatal("Records returned aliased memory")
+		}
+	}
+}
+
+func TestRelease(t *testing.T) {
+	d := newDevice(t)
+	for i := 0; i < 5; i++ {
+		if _, _, err := d.Append(0, []byte("0123456789")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	used := d.Used()
+	if err := d.Release(3); err != nil {
+		t.Fatal(err)
+	}
+	if d.Base() != 3 {
+		t.Fatalf("Base = %d, want 3", d.Base())
+	}
+	if d.Used() >= used {
+		t.Fatal("Release freed no space")
+	}
+	recs := d.Records()
+	if len(recs) != 2 || recs[0].LSN != 3 {
+		t.Fatalf("records after release: %+v", recs)
+	}
+	// Idempotent: releasing the same point again is fine.
+	if err := d.Release(3); err != nil {
+		t.Fatal(err)
+	}
+	// Beyond head: error.
+	if err := d.Release(100); err == nil {
+		t.Fatal("release beyond head accepted")
+	}
+}
+
+func TestFullAndRelease(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Capacity = 100
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each record costs 10 + 8 = 18 bytes: five fit, the sixth doesn't.
+	payload := make([]byte, 10)
+	for i := 0; i < 5; i++ {
+		if _, _, err := d.Append(0, payload); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if _, _, err := d.Append(0, payload); err != ErrFull {
+		t.Fatalf("append to full log: %v, want ErrFull", err)
+	}
+	if err := d.Release(2); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := d.Append(0, payload); err != nil {
+		t.Fatalf("append after release: %v", err)
+	}
+	// A record bigger than the whole device is rejected outright.
+	if _, _, err := d.Append(0, make([]byte, 200)); err != ErrTooLarge {
+		t.Fatalf("oversized append: %v, want ErrTooLarge", err)
+	}
+}
+
+func TestMarshalUnmarshalRoundTrip(t *testing.T) {
+	d := newDevice(t)
+	for i := 0; i < 20; i++ {
+		p := bytes.Repeat([]byte{byte(i)}, i)
+		if _, _, err := d.Append(0, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = d.Release(5)
+	img := d.Marshal()
+
+	d2 := newDevice(t)
+	n, err := d2.Unmarshal(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 15 {
+		t.Fatalf("recovered %d records, want 15", n)
+	}
+	a, b := d.Records(), d2.Records()
+	for i := range a {
+		if a[i].LSN != b[i].LSN || !bytes.Equal(a[i].Payload, b[i].Payload) {
+			t.Fatalf("record %d mismatch after round trip", i)
+		}
+	}
+}
+
+func TestUnmarshalTornTail(t *testing.T) {
+	d := newDevice(t)
+	for i := 0; i < 10; i++ {
+		if _, _, err := d.Append(0, []byte("payload-payload")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	img := d.Marshal()
+	// Truncate mid-record: only complete records survive.
+	d2 := newDevice(t)
+	n, err := d2.Unmarshal(img[:len(img)-7])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 9 {
+		t.Fatalf("recovered %d records from torn image, want 9", n)
+	}
+}
+
+func TestUnmarshalCorruptRecordStopsReplay(t *testing.T) {
+	d := newDevice(t)
+	for i := 0; i < 10; i++ {
+		if _, _, err := d.Append(0, []byte("payload-payload")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	img := d.Marshal()
+	// Flip a byte inside record 4's payload (after 8-byte base header).
+	recSize := 8 + 15
+	img[8+4*recSize+recordOverhead+3] ^= 0xff
+	d2 := newDevice(t)
+	n, err := d2.Unmarshal(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Fatalf("recovered %d records, want 4 (stop at corruption)", n)
+	}
+}
+
+func TestUnmarshalGarbage(t *testing.T) {
+	d := newDevice(t)
+	if _, err := d.Unmarshal(nil); err == nil {
+		t.Fatal("nil image accepted")
+	}
+	if _, err := d.Unmarshal([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short image accepted")
+	}
+}
+
+func TestAppendReleaseProperty(t *testing.T) {
+	// Property: used space is always the sum of live record costs, and
+	// Head - Base always equals the live record count.
+	f := func(sizes []uint8, releaseAt uint8) bool {
+		cfg := DefaultConfig()
+		d, _ := New(cfg)
+		for _, s := range sizes {
+			if _, _, err := d.Append(0, make([]byte, int(s))); err != nil {
+				return false
+			}
+		}
+		r := LSN(releaseAt)
+		if r > d.Head() {
+			r = d.Head()
+		}
+		if err := d.Release(r); err != nil {
+			return false
+		}
+		var want int64
+		for i := int(r); i < len(sizes); i++ {
+			want += int64(sizes[i]) + recordOverhead
+		}
+		return d.Used() == want && int(d.Head()-d.Base()) == len(sizes)-int(r)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

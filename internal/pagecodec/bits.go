@@ -1,0 +1,78 @@
+package pagecodec
+
+// bitWriter packs variable-width unsigned values LSB-first into a byte
+// slice. Tuple fields in a page all share one fixed row width, so a reader
+// can seek to row*rowBits directly (the property §4.9 uses to scan pages
+// without decompressing).
+type bitWriter struct {
+	buf  []byte
+	acc  uint64
+	nacc uint // bits currently in acc
+}
+
+// write appends the low `width` bits of v. width must be ≤ 57 per call so
+// the accumulator never overflows; callers split 64-bit fields.
+func (w *bitWriter) write(v uint64, width uint) {
+	for width > 32 {
+		w.write32(v&0xffffffff, 32)
+		v >>= 32
+		width -= 32
+	}
+	w.write32(v, width)
+}
+
+func (w *bitWriter) write32(v uint64, width uint) {
+	if width == 0 {
+		return
+	}
+	v &= (1 << width) - 1
+	w.acc |= v << w.nacc
+	w.nacc += width
+	for w.nacc >= 8 {
+		w.buf = append(w.buf, byte(w.acc))
+		w.acc >>= 8
+		w.nacc -= 8
+	}
+}
+
+// finish flushes any partial byte and returns the buffer.
+func (w *bitWriter) finish() []byte {
+	if w.nacc > 0 {
+		w.buf = append(w.buf, byte(w.acc))
+		w.acc, w.nacc = 0, 0
+	}
+	return w.buf
+}
+
+// readBits extracts `width` bits starting at bit offset `off` from buf,
+// LSB-first, matching bitWriter's layout.
+func readBits(buf []byte, off uint64, width uint) uint64 {
+	var out uint64
+	var got uint
+	for got < width {
+		byteIdx := (off + uint64(got)) >> 3
+		bitIdx := uint((off + uint64(got)) & 7)
+		avail := 8 - bitIdx
+		take := width - got
+		if take > avail {
+			take = avail
+		}
+		chunk := (uint64(buf[byteIdx]) >> bitIdx) & ((1 << take) - 1)
+		out |= chunk << got
+		got += take
+	}
+	return out
+}
+
+// bitsFor returns the bits needed to represent values in [0, n), i.e.
+// ceil(log2(n)); zero for n ≤ 1 (a single choice needs no bits).
+func bitsFor(n int) uint {
+	if n <= 1 {
+		return 0
+	}
+	b := uint(0)
+	for v := n - 1; v > 0; v >>= 1 {
+		b++
+	}
+	return b
+}

@@ -1,0 +1,296 @@
+// Package pagecodec implements Purity's compressed metadata page format
+// (§4.9 of the paper). Each page has a dictionary header with, per field,
+// a set of bases and an offset width; a tuple value v = bx + o is encoded
+// as (x, o). Fields that are constant across the page take zero bits, and
+// every row has the same bit width, so a page can be scanned for a value by
+// comparing bit patterns at fixed strides — without decompressing tuples.
+//
+// Pages carry facts (package tuple): the sequence number is stored as an
+// extra dictionary-compressed column, and blob payloads (when the schema
+// has them) live in a raw area addressed by a compressed length column.
+package pagecodec
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"purity/internal/tuple"
+)
+
+const (
+	magic   = 0x5050 // "PP"
+	version = 1
+
+	flagHasBlob = 0x01
+)
+
+// Errors returned by Open.
+var (
+	ErrCorrupt  = errors.New("pagecodec: corrupt page")
+	ErrChecksum = errors.New("pagecodec: checksum mismatch")
+	ErrSchema   = errors.New("pagecodec: page does not match schema")
+)
+
+// Encode builds a page from facts, which must all match schema s. Facts are
+// stored in the order given; relations sort them (key asc, seq desc) before
+// encoding so pages support binary search.
+func Encode(s tuple.Schema, facts []tuple.Fact) ([]byte, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	totalCols := s.Cols + 1 // + seq column
+	if s.HasBlob {
+		totalCols++ // + blob length column
+	}
+
+	// Gather column values.
+	colVals := make([][]uint64, totalCols)
+	for c := range colVals {
+		colVals[c] = make([]uint64, len(facts))
+	}
+	var blobBytes int
+	for i, f := range facts {
+		if len(f.Cols) != s.Cols {
+			return nil, fmt.Errorf("pagecodec: fact %d has %d cols, schema wants %d", i, len(f.Cols), s.Cols)
+		}
+		for c := 0; c < s.Cols; c++ {
+			colVals[c][i] = f.Cols[c]
+		}
+		colVals[s.Cols][i] = uint64(f.Seq)
+		if s.HasBlob {
+			colVals[s.Cols+1][i] = uint64(len(f.Blob))
+			blobBytes += len(f.Blob)
+		}
+	}
+
+	dicts := make([]dict, totalCols)
+	for c := range dicts {
+		dicts[c] = buildDict(colVals[c])
+	}
+
+	// Header.
+	var out []byte
+	out = binary.LittleEndian.AppendUint16(out, magic)
+	out = append(out, version)
+	flags := byte(0)
+	if s.HasBlob {
+		flags |= flagHasBlob
+	}
+	out = append(out, flags)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(facts)))
+	out = append(out, byte(s.Cols), byte(s.KeyCols), 0, 0)
+	for _, d := range dicts {
+		out = append(out, byte(d.width))
+		out = binary.LittleEndian.AppendUint16(out, uint16(len(d.bases)))
+		for _, b := range d.bases {
+			out = binary.LittleEndian.AppendUint64(out, b)
+		}
+	}
+
+	// Packed rows.
+	var w bitWriter
+	for i := range facts {
+		for c := 0; c < totalCols; c++ {
+			x, o, ok := dicts[c].encode(colVals[c][i])
+			if !ok {
+				return nil, fmt.Errorf("pagecodec: column %d value %d not encodable", c, colVals[c][i])
+			}
+			w.write(uint64(x), dicts[c].indexBits())
+			w.write(o, dicts[c].width)
+		}
+	}
+	out = append(out, w.finish()...)
+
+	// Blob area.
+	if s.HasBlob {
+		for _, f := range facts {
+			out = append(out, f.Blob...)
+		}
+	}
+
+	// Trailing CRC over everything before it.
+	out = binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(out))
+	return out, nil
+}
+
+// Page is a decoded view over an encoded page. It keeps the raw bytes and
+// parsed dictionaries; rows decode on demand.
+type Page struct {
+	schema    tuple.Schema
+	raw       []byte
+	dicts     []dict
+	rowCount  int
+	totalCols int
+	rowBits   uint
+	bitsOff   int    // byte offset of packed rows
+	blobOff   int    // byte offset of blob area (0 if no blobs)
+	colShift  []uint // bit offset of each column within a row
+}
+
+// Open parses and validates an encoded page.
+func Open(s tuple.Schema, raw []byte) (*Page, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if len(raw) < 16 {
+		return nil, ErrCorrupt
+	}
+	body, sum := raw[:len(raw)-4], binary.LittleEndian.Uint32(raw[len(raw)-4:])
+	if crc32.ChecksumIEEE(body) != sum {
+		return nil, ErrChecksum
+	}
+	if binary.LittleEndian.Uint16(raw) != magic || raw[2] != version {
+		return nil, ErrCorrupt
+	}
+	hasBlob := raw[3]&flagHasBlob != 0
+	rowCount := int(binary.LittleEndian.Uint32(raw[4:]))
+	cols, keyCols := int(raw[8]), int(raw[9])
+	if cols != s.Cols || keyCols != s.KeyCols || hasBlob != s.HasBlob {
+		return nil, ErrSchema
+	}
+	totalCols := cols + 1
+	if hasBlob {
+		totalCols++
+	}
+
+	p := &Page{schema: s, raw: raw, rowCount: rowCount, totalCols: totalCols}
+	pos := 12
+	p.dicts = make([]dict, totalCols)
+	p.colShift = make([]uint, totalCols)
+	for c := 0; c < totalCols; c++ {
+		if pos+3 > len(body) {
+			return nil, ErrCorrupt
+		}
+		width := uint(raw[pos])
+		baseCount := int(binary.LittleEndian.Uint16(raw[pos+1:]))
+		pos += 3
+		if baseCount == 0 || pos+8*baseCount > len(body) {
+			return nil, ErrCorrupt
+		}
+		bases := make([]uint64, baseCount)
+		for i := range bases {
+			bases[i] = binary.LittleEndian.Uint64(raw[pos:])
+			pos += 8
+		}
+		p.dicts[c] = dict{width: width, bases: bases}
+		p.colShift[c] = p.rowBits
+		p.rowBits += p.dicts[c].rowBits()
+	}
+	p.bitsOff = pos
+	rowBytes := (uint64(rowCount)*uint64(p.rowBits) + 7) / 8
+	if uint64(pos)+rowBytes > uint64(len(body)) {
+		return nil, ErrCorrupt
+	}
+	if hasBlob {
+		p.blobOff = pos + int(rowBytes)
+	}
+	return p, nil
+}
+
+// RowCount returns the number of facts in the page.
+func (p *Page) RowCount() int { return p.rowCount }
+
+// col reads column c of row i.
+func (p *Page) col(i, c int) uint64 {
+	d := p.dicts[c]
+	off := uint64(p.bitsOff)*8 + uint64(i)*uint64(p.rowBits) + uint64(p.colShift[c])
+	x := readBits(p.raw, off, d.indexBits())
+	o := readBits(p.raw, off+uint64(d.indexBits()), d.width)
+	return d.decode(int(x), o)
+}
+
+// Seq returns the sequence number of row i.
+func (p *Page) Seq(i int) tuple.Seq { return tuple.Seq(p.col(i, p.schema.Cols)) }
+
+// Key decodes only the key columns of row i, appending to dst.
+func (p *Page) Key(dst []uint64, i int) []uint64 {
+	for c := 0; c < p.schema.KeyCols; c++ {
+		dst = append(dst, p.col(i, c))
+	}
+	return dst
+}
+
+// Fact decodes row i fully.
+func (p *Page) Fact(i int) tuple.Fact {
+	f := tuple.Fact{Seq: p.Seq(i), Cols: make([]uint64, p.schema.Cols)}
+	for c := 0; c < p.schema.Cols; c++ {
+		f.Cols[c] = p.col(i, c)
+	}
+	if p.schema.HasBlob {
+		// Blob offsets are the running sum of prior blob lengths.
+		lenCol := p.schema.Cols + 1
+		var start uint64
+		for j := 0; j < i; j++ {
+			start += p.col(j, lenCol)
+		}
+		n := p.col(i, lenCol)
+		f.Blob = append([]byte(nil), p.raw[p.blobOff+int(start):p.blobOff+int(start+n)]...)
+	}
+	return f
+}
+
+// All decodes every fact in the page.
+func (p *Page) All() []tuple.Fact {
+	out := make([]tuple.Fact, p.rowCount)
+	if p.schema.HasBlob {
+		// Single pass so blob offsets are O(n) total.
+		lenCol := p.schema.Cols + 1
+		var start uint64
+		for i := 0; i < p.rowCount; i++ {
+			f := tuple.Fact{Seq: p.Seq(i), Cols: make([]uint64, p.schema.Cols)}
+			for c := 0; c < p.schema.Cols; c++ {
+				f.Cols[c] = p.col(i, c)
+			}
+			n := p.col(i, lenCol)
+			f.Blob = append([]byte(nil), p.raw[p.blobOff+int(start):p.blobOff+int(start+n)]...)
+			start += n
+			out[i] = f
+		}
+		return out
+	}
+	for i := 0; i < p.rowCount; i++ {
+		out[i] = p.Fact(i)
+	}
+	return out
+}
+
+// ScanEqual returns the rows whose column c equals v, comparing encoded bit
+// patterns rather than decoding each tuple (§4.9). Column index may address
+// user columns [0, Cols) or the sequence column (Cols).
+func (p *Page) ScanEqual(c int, v uint64) []int {
+	d := p.dicts[c]
+	x, o, ok := d.encode(v)
+	if !ok {
+		return nil // value not representable in this page: no matches
+	}
+	want := uint64(x) | o<<d.indexBits()
+	width := d.rowBits()
+	var out []int
+	base := uint64(p.bitsOff)*8 + uint64(p.colShift[c])
+	for i := 0; i < p.rowCount; i++ {
+		got := readBits(p.raw, base+uint64(i)*uint64(p.rowBits), width)
+		if got == want {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// FirstGE returns the index of the first row whose key is ≥ key, assuming
+// rows are sorted by key ascending. Returns RowCount if all keys are less.
+func (p *Page) FirstGE(key []uint64) int {
+	lo, hi := 0, p.rowCount
+	var buf []uint64
+	for lo < hi {
+		mid := (lo + hi) / 2
+		buf = p.Key(buf[:0], mid)
+		if tuple.CompareKeys(buf, key, p.schema.KeyCols) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,77 @@
+package pyramid
+
+import (
+	"container/list"
+	"sync"
+
+	"purity/internal/pagecodec"
+)
+
+// pageCache is a small LRU of decoded pages. Metadata reads dominate the
+// lookup path (§3.1: extra reads in exchange for space), so keeping hot
+// index pages decoded in DRAM is what makes medium-chain resolution cheap.
+type pageCache struct {
+	mu    sync.Mutex
+	cap   int
+	items map[Ref]*list.Element
+	order *list.List // front = hottest
+}
+
+type cacheEntry struct {
+	ref  Ref
+	page *pagecodec.Page
+}
+
+func newPageCache(capacity int) *pageCache {
+	return &pageCache{
+		cap:   capacity,
+		items: make(map[Ref]*list.Element),
+		order: list.New(),
+	}
+}
+
+func (c *pageCache) get(ref Ref) (*pagecodec.Page, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[ref]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).page, true
+}
+
+func (c *pageCache) put(ref Ref, page *pagecodec.Page) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[ref]; ok {
+		c.order.MoveToFront(el)
+		el.Value.(*cacheEntry).page = page
+		return
+	}
+	el := c.order.PushFront(&cacheEntry{ref: ref, page: page})
+	c.items[ref] = el
+	for c.order.Len() > c.cap {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.items, last.Value.(*cacheEntry).ref)
+	}
+}
+
+// refs returns cached refs, coldest first (so warming replays them in an
+// order that leaves the hottest most recently touched).
+func (c *pageCache) refs() []Ref {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Ref, 0, c.order.Len())
+	for el := c.order.Back(); el != nil; el = el.Prev() {
+		out = append(out, el.Value.(*cacheEntry).ref)
+	}
+	return out
+}
+
+func (c *pageCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

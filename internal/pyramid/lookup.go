@@ -1,0 +1,252 @@
+package pyramid
+
+import (
+	"sort"
+
+	"purity/internal/sim"
+	"purity/internal/tuple"
+)
+
+func seqOf(v uint64) tuple.Seq { return tuple.Seq(v) }
+
+// Get returns the newest non-elided fact with exactly this key. Patches
+// hold disjoint, ordered sequence ranges, so the first source (memtable,
+// then patches newest-first) containing the key holds its newest version.
+func (p *Pyramid) Get(at sim.Time, key []uint64) (tuple.Fact, bool, sim.Time, error) {
+	k := p.cfg.Schema.KeyCols
+	done := at
+
+	p.mu.Lock()
+	p.sortMemLocked()
+	mem := p.mem
+	patches := append([]*Patch(nil), p.patches...)
+	p.mu.Unlock()
+
+	// Memtable: first match in (key asc, seq desc) order is the newest.
+	i := sort.Search(len(mem), func(i int) bool {
+		return tuple.CompareKeys(mem[i].Cols, key, k) >= 0
+	})
+	for ; i < len(mem) && tuple.CompareKeys(mem[i].Cols, key, k) == 0; i++ {
+		if !p.elided(mem[i]) {
+			return mem[i].Clone(), true, done, nil
+		}
+	}
+
+	for _, patch := range patches {
+		f, found, d, err := p.getFromPatch(done, patch, key)
+		done = d
+		if err != nil {
+			return tuple.Fact{}, false, done, err
+		}
+		if found {
+			return f, true, done, nil
+		}
+	}
+	return tuple.Fact{}, false, done, nil
+}
+
+// getFromPatch searches one patch for the newest non-elided version of key.
+func (p *Pyramid) getFromPatch(at sim.Time, patch *Patch, key []uint64) (tuple.Fact, bool, sim.Time, error) {
+	k := p.cfg.Schema.KeyCols
+	done := at
+	// Last page whose KeyMin ≤ key; versions of a key may spill into
+	// following pages whose KeyMin equals the key.
+	pi := sort.Search(len(patch.Pages), func(i int) bool {
+		return tuple.CompareKeys(patch.Pages[i].KeyMin, key, k) > 0
+	}) - 1
+	if pi < 0 {
+		return tuple.Fact{}, false, done, nil
+	}
+	for ; pi < len(patch.Pages); pi++ {
+		if tuple.CompareKeys(patch.Pages[pi].KeyMin, key, k) > 0 {
+			break
+		}
+		pg, d, err := p.openPage(done, patch.Pages[pi].Ref)
+		done = d
+		if err != nil {
+			return tuple.Fact{}, false, done, err
+		}
+		var buf []uint64
+		for ri := pg.FirstGE(key); ri < pg.RowCount(); ri++ {
+			buf = pg.Key(buf[:0], ri)
+			if tuple.CompareKeys(buf, key, k) != 0 {
+				return tuple.Fact{}, false, done, nil
+			}
+			f := pg.Fact(ri)
+			if !p.elided(f) {
+				return f, true, done, nil
+			}
+		}
+		// Key versions may continue on the next page.
+	}
+	return tuple.Fact{}, false, done, nil
+}
+
+// --- Merged scans -------------------------------------------------------
+
+// factSource is a sorted stream of facts (key asc, seq desc).
+type factSource interface {
+	// peek returns the current fact without consuming it.
+	peek() (tuple.Fact, bool)
+	// advance consumes the current fact; it may read pages (returns the
+	// updated completion time).
+	advance(at sim.Time) (sim.Time, error)
+}
+
+type memSource struct {
+	facts []tuple.Fact
+	pos   int
+}
+
+func (s *memSource) peek() (tuple.Fact, bool) {
+	if s.pos >= len(s.facts) {
+		return tuple.Fact{}, false
+	}
+	return s.facts[s.pos], true
+}
+
+func (s *memSource) advance(at sim.Time) (sim.Time, error) {
+	s.pos++
+	return at, nil
+}
+
+type patchSource struct {
+	p       *Pyramid
+	patch   *Patch
+	pageIdx int
+	rows    []tuple.Fact
+	pos     int
+}
+
+// load decodes the current page's rows; it is called lazily.
+func (s *patchSource) load(at sim.Time) (sim.Time, error) {
+	for s.rows == nil || s.pos >= len(s.rows) {
+		if s.rows != nil {
+			s.pageIdx++
+		}
+		if s.pageIdx >= len(s.patch.Pages) {
+			s.rows = []tuple.Fact{}
+			s.pos = 0
+			return at, nil
+		}
+		pg, d, err := s.p.openPage(at, s.patch.Pages[s.pageIdx].Ref)
+		at = d
+		if err != nil {
+			return at, err
+		}
+		s.rows = pg.All()
+		s.pos = 0
+	}
+	return at, nil
+}
+
+func (s *patchSource) peek() (tuple.Fact, bool) {
+	if s.rows == nil || s.pos >= len(s.rows) {
+		return tuple.Fact{}, false
+	}
+	return s.rows[s.pos], true
+}
+
+func (s *patchSource) advance(at sim.Time) (sim.Time, error) {
+	s.pos++
+	return s.load(at)
+}
+
+// Scan streams the newest non-elided version of every key in [loKey,
+// hiKey] (inclusive; nil bounds are open) in key order. fn returning false
+// stops the scan early.
+func (p *Pyramid) Scan(at sim.Time, loKey, hiKey []uint64, fn func(tuple.Fact) bool) (sim.Time, error) {
+	return p.scan(at, loKey, hiKey, false, fn)
+}
+
+// ScanVersions streams every non-elided fact version in the key range,
+// newest first within each key. The garbage collector and debugging tools
+// use this; normal readers want Scan.
+func (p *Pyramid) ScanVersions(at sim.Time, loKey, hiKey []uint64, fn func(tuple.Fact) bool) (sim.Time, error) {
+	return p.scan(at, loKey, hiKey, true, fn)
+}
+
+func (p *Pyramid) scan(at sim.Time, loKey, hiKey []uint64, allVersions bool, fn func(tuple.Fact) bool) (sim.Time, error) {
+	k := p.cfg.Schema.KeyCols
+	done := at
+
+	p.mu.Lock()
+	p.sortMemLocked()
+	memCopy := append([]tuple.Fact(nil), p.mem...)
+	patches := append([]*Patch(nil), p.patches...)
+	p.mu.Unlock()
+
+	sources := make([]factSource, 0, len(patches)+1)
+	sources = append(sources, &memSource{facts: memCopy})
+	for _, patch := range patches {
+		ps := &patchSource{p: p, patch: patch}
+		var err error
+		done, err = ps.load(done)
+		if err != nil {
+			return done, err
+		}
+		sources = append(sources, ps)
+	}
+
+	// Skip sources forward to loKey.
+	if loKey != nil {
+		for _, s := range sources {
+			for {
+				f, ok := s.peek()
+				if !ok || tuple.CompareKeys(f.Cols, loKey, k) >= 0 {
+					break
+				}
+				var err error
+				done, err = s.advance(done)
+				if err != nil {
+					return done, err
+				}
+			}
+		}
+	}
+
+	var lastKey []uint64
+	lastEmitted := false
+	for {
+		// Choose the least (key asc, seq desc) fact across sources.
+		best := -1
+		var bestFact tuple.Fact
+		for i, s := range sources {
+			f, ok := s.peek()
+			if !ok {
+				continue
+			}
+			if best < 0 || tuple.Less(f, bestFact, k) {
+				best = i
+				bestFact = f
+			}
+		}
+		if best < 0 {
+			return done, nil
+		}
+		if hiKey != nil && tuple.CompareKeys(bestFact.Cols, hiKey, k) > 0 {
+			return done, nil
+		}
+		var err error
+		done, err = sources[best].advance(done)
+		if err != nil {
+			return done, err
+		}
+
+		newKey := lastKey == nil || tuple.CompareKeys(bestFact.Cols, lastKey, k) != 0
+		if newKey {
+			lastKey = append(lastKey[:0], bestFact.Cols[:k]...)
+			lastEmitted = false
+		}
+		if !allVersions && lastEmitted {
+			continue // newest version of this key already delivered
+		}
+		if p.elided(bestFact) {
+			continue
+		}
+		lastEmitted = true
+		if !fn(bestFact.Clone()) {
+			return done, nil
+		}
+	}
+}

@@ -1,0 +1,220 @@
+// Package server exposes an array's volumes over TCP using the wire
+// protocol — the repository's stand-in for the paper's iSCSI/FibreChannel
+// front end (§3, §4.1). Run two servers over one controller.Pair (one per
+// Role) to get the active-active behaviour: clients may connect to either
+// port; the secondary forwards to the primary at an interconnect-latency
+// cost.
+package server
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"purity/internal/controller"
+	"purity/internal/core"
+	"purity/internal/sim"
+	"purity/internal/wire"
+)
+
+// Server serves one controller's port.
+type Server struct {
+	pair *controller.Pair
+	via  controller.Role
+
+	mu    sync.Mutex // serializes engine dispatch across connections
+	epoch time.Time  // wall-clock origin for the simulated timeline
+}
+
+// New returns a server for the given controller of a pair.
+func New(pair *controller.Pair, via controller.Role) *Server {
+	return &Server{pair: pair, via: via, epoch: time.Now()}
+}
+
+// now maps wall time onto the simulated timeline, so a served array's
+// device model experiences realistic inter-arrival times.
+func (s *Server) now() sim.Time { return sim.Time(time.Since(s.epoch).Nanoseconds()) }
+
+// Serve accepts connections until the listener closes.
+func (s *Server) Serve(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		go s.handle(conn)
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	for {
+		op, payload, err := wire.ReadFrame(conn)
+		if err != nil {
+			return
+		}
+		resp, err := s.dispatch(op, payload)
+		if err != nil {
+			if wire.RespondErr(conn, op, err) != nil {
+				return
+			}
+			continue
+		}
+		if wire.RespondOK(conn, op, resp) != nil {
+			return
+		}
+	}
+}
+
+// dispatch runs one request against the engine.
+func (s *Server) dispatch(op byte, payload []byte) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	at := s.now()
+	a := s.pair.Array()
+	if a == nil {
+		return nil, controller.ErrUnavailable
+	}
+	d := wire.Dec{B: payload}
+	switch op {
+	case wire.OpCreateVolume:
+		name := d.Str()
+		size := d.U64()
+		if !d.OK() {
+			return nil, d.Err
+		}
+		id, _, err := a.CreateVolume(at, name, int64(size))
+		if err != nil {
+			return nil, err
+		}
+		var e wire.Enc
+		return e.U64(uint64(id)).B, nil
+
+	case wire.OpOpenVolume:
+		name := d.Str()
+		if !d.OK() {
+			return nil, d.Err
+		}
+		infos, _, err := a.Volumes(at)
+		if err != nil {
+			return nil, err
+		}
+		for _, info := range infos {
+			if info.Name == name {
+				var e wire.Enc
+				return e.U64(uint64(info.ID)).U64(uint64(info.SizeBytes)).B, nil
+			}
+		}
+		return nil, core.ErrNoSuchVolume
+
+	case wire.OpListVolumes:
+		infos, _, err := a.Volumes(at)
+		if err != nil {
+			return nil, err
+		}
+		var e wire.Enc
+		e.U64(uint64(len(infos)))
+		for _, info := range infos {
+			snap := uint64(0)
+			if info.Snapshot {
+				snap = 1
+			}
+			e.U64(uint64(info.ID)).Str(info.Name).U64(uint64(info.SizeBytes)).U64(snap)
+		}
+		return e.B, nil
+
+	case wire.OpRead:
+		vol := d.U64()
+		off := d.U64()
+		n := d.U64()
+		if !d.OK() {
+			return nil, d.Err
+		}
+		data, _, err := s.pair.ReadAt(at, s.via, core.VolumeID(vol), int64(off), int(n))
+		if err != nil {
+			return nil, err
+		}
+		var e wire.Enc
+		return e.Bytes(data).B, nil
+
+	case wire.OpWrite:
+		vol := d.U64()
+		off := d.U64()
+		data := d.Bytes()
+		if !d.OK() {
+			return nil, d.Err
+		}
+		if _, err := s.pair.WriteAt(at, s.via, core.VolumeID(vol), int64(off), data); err != nil {
+			return nil, err
+		}
+		return nil, nil
+
+	case wire.OpSnapshot:
+		vol := d.U64()
+		name := d.Str()
+		if !d.OK() {
+			return nil, d.Err
+		}
+		id, _, err := a.Snapshot(at, core.VolumeID(vol), name)
+		if err != nil {
+			return nil, err
+		}
+		var e wire.Enc
+		return e.U64(uint64(id)).B, nil
+
+	case wire.OpClone:
+		snap := d.U64()
+		name := d.Str()
+		if !d.OK() {
+			return nil, d.Err
+		}
+		id, _, err := a.Clone(at, core.VolumeID(snap), name)
+		if err != nil {
+			return nil, err
+		}
+		var e wire.Enc
+		return e.U64(uint64(id)).B, nil
+
+	case wire.OpDelete:
+		vol := d.U64()
+		if !d.OK() {
+			return nil, d.Err
+		}
+		_, err := a.Delete(at, core.VolumeID(vol))
+		return nil, err
+
+	case wire.OpStats:
+		st := a.Stats()
+		text := fmt.Sprintf(
+			"writes=%d reads=%d\nwrite latency: %s\nread latency: %s\n"+
+				"reduction=%.2fx (logical=%d physical=%d dedup=%d)\n"+
+				"dedup hits=%d misses=%d\nsegments=%d frontierAUs=%d freeAUs=%d\n"+
+				"gc runs=%d checkpoints=%d frontier writes=%d\n"+
+				"flash: host W=%d flash W=%d erases=%d\n",
+			st.Writes, st.Reads,
+			st.WriteLatency.Summary(), st.ReadLatency.Summary(),
+			st.ReductionRatio, st.Reduction.LogicalBytes, st.Reduction.PhysicalBytes, st.Reduction.DedupBytes,
+			st.DedupHits, st.DedupMisses, st.Segments, st.FrontierAUs, st.FreeAUs,
+			st.GCRuns, st.Checkpoints, st.FrontierWrites,
+			st.FlashStats.HostBytesWritten, st.FlashStats.FlashBytesWritten, st.FlashStats.Erases,
+		)
+		var e wire.Enc
+		return e.Str(text).B, nil
+
+	case wire.OpFlush:
+		_, err := a.FlushAll(at)
+		return nil, err
+
+	case wire.OpGC:
+		rep, _, err := a.RunGC(at)
+		if err != nil {
+			return nil, err
+		}
+		var e wire.Enc
+		return e.Str(fmt.Sprintf("%+v", rep)).B, nil
+
+	default:
+		return nil, fmt.Errorf("server: unknown opcode %d", op)
+	}
+}

@@ -1,0 +1,143 @@
+// Package shelf models a Flash Array storage shelf (§4.1, Figure 2 of the
+// paper): a tray of 11–24 dual-ported consumer SSDs plus NVRAM devices.
+// SAS interposers connect every drive to both controllers, so the shelf is
+// simply shared state between controller instances; "interposer failover"
+// needs no modelling beyond both controllers holding the same references.
+//
+// The shelf is where pull-a-drive fault injection lives: the paper
+// encourages evaluators to yank drives mid-workload, and experiment E6 does
+// exactly that.
+package shelf
+
+import (
+	"fmt"
+
+	"purity/internal/nvram"
+	"purity/internal/ssd"
+)
+
+// Config describes a shelf.
+type Config struct {
+	Drives      int // number of SSDs (paper: 11–24)
+	DriveConfig ssd.Config
+	NVRAM       int // number of NVRAM devices (paper: redundant pair)
+	NVRAMConfig nvram.Config
+}
+
+// DefaultConfig returns the scaled-down 11-drive shelf used by tests.
+func DefaultConfig() Config {
+	return Config{
+		Drives:      11,
+		DriveConfig: ssd.DefaultConfig(),
+		NVRAM:       2,
+		NVRAMConfig: nvram.DefaultConfig(),
+	}
+}
+
+// Shelf owns the devices. It is shared by both controllers.
+type Shelf struct {
+	drives []*ssd.Device
+	nvrams []*nvram.Device
+}
+
+// New builds a shelf with cfg.Drives SSDs and cfg.NVRAM NVRAM devices.
+// Drives get distinct RNG seeds so wear failures are not correlated.
+func New(cfg Config) (*Shelf, error) {
+	if cfg.Drives <= 0 {
+		return nil, fmt.Errorf("shelf: need at least one drive, got %d", cfg.Drives)
+	}
+	if cfg.NVRAM <= 0 {
+		return nil, fmt.Errorf("shelf: need at least one NVRAM device, got %d", cfg.NVRAM)
+	}
+	s := &Shelf{}
+	for i := 0; i < cfg.Drives; i++ {
+		dc := cfg.DriveConfig
+		dc.Seed = dc.Seed*1000003 + uint64(i) + 1
+		d, err := ssd.New(fmt.Sprintf("ssd%d", i), dc)
+		if err != nil {
+			return nil, err
+		}
+		s.drives = append(s.drives, d)
+	}
+	for i := 0; i < cfg.NVRAM; i++ {
+		n, err := nvram.New(cfg.NVRAMConfig)
+		if err != nil {
+			return nil, err
+		}
+		s.nvrams = append(s.nvrams, n)
+	}
+	return s, nil
+}
+
+// Drives returns all drives, including failed ones.
+func (s *Shelf) Drives() []*ssd.Device { return s.drives }
+
+// Drive returns drive i.
+func (s *Shelf) Drive(i int) *ssd.Device { return s.drives[i] }
+
+// NumDrives returns the drive count.
+func (s *Shelf) NumDrives() int { return len(s.drives) }
+
+// NVRAM returns NVRAM device i. Device 0 is the primary commit log; the
+// rest mirror it (mirroring is the commit path's job).
+func (s *Shelf) NVRAM(i int) *nvram.Device { return s.nvrams[i] }
+
+// NumNVRAM returns the NVRAM device count.
+func (s *Shelf) NumNVRAM() int { return len(s.nvrams) }
+
+// PullDrive fails drive i, as an evaluator yanking it from the bay.
+func (s *Shelf) PullDrive(i int) error {
+	if i < 0 || i >= len(s.drives) {
+		return fmt.Errorf("shelf: no drive %d", i)
+	}
+	s.drives[i].Fail()
+	return nil
+}
+
+// ReinsertDrive revives drive i with its data intact.
+func (s *Shelf) ReinsertDrive(i int) error {
+	if i < 0 || i >= len(s.drives) {
+		return fmt.Errorf("shelf: no drive %d", i)
+	}
+	s.drives[i].Revive()
+	return nil
+}
+
+// FailedDrives returns the indexes of drives currently offline.
+func (s *Shelf) FailedDrives() []int {
+	var out []int
+	for i, d := range s.drives {
+		if d.Failed() {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// TotalCapacity returns the summed capacity of all drives, failed or not.
+func (s *Shelf) TotalCapacity() int64 {
+	var total int64
+	for _, d := range s.drives {
+		total += d.Capacity()
+	}
+	return total
+}
+
+// AggregateStats sums per-drive counters across the shelf.
+func (s *Shelf) AggregateStats() ssd.Stats {
+	var agg ssd.Stats
+	for _, d := range s.drives {
+		st := d.Stats()
+		agg.HostBytesRead += st.HostBytesRead
+		agg.HostBytesWritten += st.HostBytesWritten
+		agg.FlashBytesWritten += st.FlashBytesWritten
+		agg.Erases += st.Erases
+		agg.RandomWrites += st.RandomWrites
+		agg.StalledReads += st.StalledReads
+		agg.BadBlocks += st.BadBlocks
+		if st.MaxWear > agg.MaxWear {
+			agg.MaxWear = st.MaxWear
+		}
+	}
+	return agg
+}

@@ -1,0 +1,40 @@
+package sim
+
+import "sync/atomic"
+
+// Clock is a monotonic logical clock. It is advanced explicitly by the
+// simulation driver (an event loop or a closed-loop workload), never by wall
+// time. Reads are safe from any goroutine; in practice simulations are
+// single-threaded and deterministic.
+type Clock struct {
+	now atomic.Int64
+}
+
+// NewClock returns a clock at the epoch.
+func NewClock() *Clock { return &Clock{} }
+
+// Now returns the current simulated time.
+func (c *Clock) Now() Time { return Time(c.now.Load()) }
+
+// Advance moves the clock forward by d. It panics on negative d: simulated
+// time, like the sequence numbers built on it, is monotonic.
+func (c *Clock) Advance(d Time) Time {
+	if d < 0 {
+		panic("sim: negative clock advance")
+	}
+	return Time(c.now.Add(int64(d)))
+}
+
+// AdvanceTo moves the clock forward to t if t is later than now. Moving to a
+// past time is a no-op, which lets multiple completion streams race benignly.
+func (c *Clock) AdvanceTo(t Time) {
+	for {
+		cur := c.now.Load()
+		if int64(t) <= cur {
+			return
+		}
+		if c.now.CompareAndSwap(cur, int64(t)) {
+			return
+		}
+	}
+}

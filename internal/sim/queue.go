@@ -1,0 +1,99 @@
+package sim
+
+import "container/heap"
+
+// Event is a callback scheduled at a simulated time. Events with equal times
+// fire in scheduling order, which keeps runs deterministic.
+type Event struct {
+	At  Time
+	Fn  func(now Time)
+	seq uint64
+}
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*Event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Loop is a single-threaded discrete-event loop: a clock plus a time-ordered
+// event queue. All device completions and background activity in a simulation
+// are events on one Loop.
+type Loop struct {
+	clock Clock
+	queue eventHeap
+	seq   uint64
+}
+
+// NewLoop returns an empty loop at the epoch.
+func NewLoop() *Loop { return &Loop{} }
+
+// Now returns the loop's current simulated time.
+func (l *Loop) Now() Time { return l.clock.Now() }
+
+// Clock exposes the loop's clock for components that only need to read time.
+func (l *Loop) Clock() *Clock { return &l.clock }
+
+// At schedules fn to run at time t. Scheduling in the past panics — it would
+// mean a device model produced a completion before its request was issued.
+func (l *Loop) At(t Time, fn func(now Time)) {
+	if t < l.clock.Now() {
+		panic("sim: event scheduled in the past")
+	}
+	l.seq++
+	heap.Push(&l.queue, &Event{At: t, Fn: fn, seq: l.seq})
+}
+
+// After schedules fn to run d after the current time.
+func (l *Loop) After(d Time, fn func(now Time)) { l.At(l.clock.Now()+d, fn) }
+
+// Pending reports the number of scheduled events.
+func (l *Loop) Pending() int { return len(l.queue) }
+
+// Step runs the earliest event, advancing the clock to its time. It returns
+// false when the queue is empty.
+func (l *Loop) Step() bool {
+	if len(l.queue) == 0 {
+		return false
+	}
+	e := heap.Pop(&l.queue).(*Event)
+	l.clock.AdvanceTo(e.At)
+	e.Fn(e.At)
+	return true
+}
+
+// RunUntil runs events until the queue is empty or the next event is after
+// deadline; the clock finishes at min(deadline, last event time). It returns
+// the number of events run.
+func (l *Loop) RunUntil(deadline Time) int {
+	n := 0
+	for len(l.queue) > 0 && l.queue[0].At <= deadline {
+		l.Step()
+		n++
+	}
+	l.clock.AdvanceTo(deadline)
+	return n
+}
+
+// Run drains the queue completely and returns the number of events run.
+func (l *Loop) Run() int {
+	n := 0
+	for l.Step() {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,167 @@
+// Package wire defines the block-device network protocol the repository
+// uses in place of iSCSI/FibreChannel (§3 of the paper: volumes are exposed
+// over standard networks; clients treat the two controllers' ports
+// interchangeably). Frames are length-prefixed; integers are little-endian;
+// strings and byte blobs are length-prefixed.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Opcodes.
+const (
+	OpCreateVolume byte = 1
+	OpOpenVolume   byte = 2
+	OpListVolumes  byte = 3
+	OpRead         byte = 4
+	OpWrite        byte = 5
+	OpSnapshot     byte = 6
+	OpClone        byte = 7
+	OpDelete       byte = 8
+	OpStats        byte = 9
+	OpFlush        byte = 10
+	OpGC           byte = 11
+)
+
+// Response status.
+const (
+	StatusOK  byte = 0
+	StatusErr byte = 1
+)
+
+// MaxFrame bounds a frame's payload; large I/O is split by the client.
+const MaxFrame = 16 << 20
+
+// ErrFrameTooLarge is returned for oversized frames.
+var ErrFrameTooLarge = errors.New("wire: frame exceeds MaxFrame")
+
+// WriteFrame sends one frame: u32 length, opcode byte, payload.
+func WriteFrame(w io.Writer, op byte, payload []byte) error {
+	if len(payload)+1 > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	var hdr [5]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)+1))
+	hdr[4] = op
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame receives one frame.
+func ReadFrame(r io.Reader) (byte, []byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n == 0 || n > MaxFrame {
+		return 0, nil, ErrFrameTooLarge
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, nil, err
+	}
+	return body[0], body[1:], nil
+}
+
+// Enc builds payloads.
+type Enc struct{ B []byte }
+
+// U64 appends an unsigned integer.
+func (e *Enc) U64(v uint64) *Enc {
+	e.B = binary.LittleEndian.AppendUint64(e.B, v)
+	return e
+}
+
+// Bytes appends a length-prefixed blob.
+func (e *Enc) Bytes(b []byte) *Enc {
+	e.B = binary.LittleEndian.AppendUint32(e.B, uint32(len(b)))
+	e.B = append(e.B, b...)
+	return e
+}
+
+// Str appends a length-prefixed string.
+func (e *Enc) Str(s string) *Enc { return e.Bytes([]byte(s)) }
+
+// Dec parses payloads.
+type Dec struct {
+	B   []byte
+	Err error
+}
+
+// U64 reads an unsigned integer.
+func (d *Dec) U64() uint64 {
+	if d.Err != nil {
+		return 0
+	}
+	if len(d.B) < 8 {
+		d.Err = io.ErrUnexpectedEOF
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.B)
+	d.B = d.B[8:]
+	return v
+}
+
+// Bytes reads a length-prefixed blob (aliasing the input).
+func (d *Dec) Bytes() []byte {
+	if d.Err != nil {
+		return nil
+	}
+	if len(d.B) < 4 {
+		d.Err = io.ErrUnexpectedEOF
+		return nil
+	}
+	n := binary.LittleEndian.Uint32(d.B)
+	d.B = d.B[4:]
+	if uint32(len(d.B)) < n {
+		d.Err = io.ErrUnexpectedEOF
+		return nil
+	}
+	out := d.B[:n]
+	d.B = d.B[n:]
+	return out
+}
+
+// Str reads a length-prefixed string.
+func (d *Dec) Str() string { return string(d.Bytes()) }
+
+// OK reports whether the payload decoded fully and cleanly.
+func (d *Dec) OK() bool { return d.Err == nil }
+
+// RespondErr frames an error response.
+func RespondErr(w io.Writer, op byte, err error) error {
+	var e Enc
+	e.B = append(e.B, StatusErr)
+	e.Str(err.Error())
+	return WriteFrame(w, op, e.B)
+}
+
+// RespondOK frames a success response with the given payload.
+func RespondOK(w io.Writer, op byte, payload []byte) error {
+	return WriteFrame(w, op, append([]byte{StatusOK}, payload...))
+}
+
+// ParseResponse splits a response into payload or error.
+func ParseResponse(payload []byte) ([]byte, error) {
+	if len(payload) < 1 {
+		return nil, io.ErrUnexpectedEOF
+	}
+	switch payload[0] {
+	case StatusOK:
+		return payload[1:], nil
+	case StatusErr:
+		d := Dec{B: payload[1:]}
+		msg := d.Str()
+		return nil, fmt.Errorf("server: %s", msg)
+	default:
+		return nil, fmt.Errorf("wire: bad status %d", payload[0])
+	}
+}

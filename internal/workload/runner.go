@@ -1,0 +1,169 @@
+package workload
+
+import (
+	"container/heap"
+	"fmt"
+
+	"purity/internal/cblock"
+	"purity/internal/core"
+	"purity/internal/sim"
+	"purity/internal/telemetry"
+)
+
+// Mix describes an I/O mixture for the closed-loop runner.
+type Mix struct {
+	ReadFraction float64 // 0 = write-only, 1 = read-only
+	IOSize       int     // bytes per request (sector multiple)
+	Sequential   bool    // sequential per client instead of random
+	ZipfSkew     float64 // >0 enables zipfian offsets (YCSB-style hot set)
+	Class        DataClass
+	Seed         uint64
+}
+
+// Results summarizes a closed-loop run.
+type Results struct {
+	Ops          int64
+	ReadOps      int64
+	WriteOps     int64
+	SimDuration  sim.Time
+	IOPS         float64 // ops per simulated second
+	ThroughputMB float64 // MB per simulated second
+	ReadLat      *telemetry.Histogram
+	WriteLat     *telemetry.Histogram
+	Errors       int64
+}
+
+// Target is the device under test: the Purity engine satisfies it, and so
+// do the baseline models (package baseline).
+type Target interface {
+	WriteAt(at sim.Time, vol core.VolumeID, off int64, data []byte) (sim.Time, error)
+	ReadAt(at sim.Time, vol core.VolumeID, off int64, n int) ([]byte, sim.Time, error)
+}
+
+// client tracks one logical initiator in the closed loop.
+type client struct {
+	next   sim.Time
+	pos    int64 // sequential cursor
+	rng    *sim.Rand
+	zipf   *sim.Zipf
+	gen    *Gen
+	blocks uint64
+}
+
+type clientHeap []*client
+
+func (h clientHeap) Len() int           { return len(h) }
+func (h clientHeap) Less(i, j int) bool { return h[i].next < h[j].next }
+func (h clientHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *clientHeap) Push(x any)        { *h = append(*h, x.(*client)) }
+func (h *clientHeap) Pop() any {
+	old := *h
+	c := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return c
+}
+
+// RunClosedLoop drives `clients` concurrent initiators against vol on the
+// target for `ops` total operations, starting at sim time `start`. Each
+// client issues its next request the moment the previous one completes —
+// the standard closed-loop arrangement the paper's IOPS figures assume.
+func RunClosedLoop(target Target, vol core.VolumeID, volBytes int64, mix Mix, clients, ops int, start sim.Time) (Results, error) {
+	if mix.IOSize%cblock.SectorSize != 0 || mix.IOSize <= 0 {
+		return Results{}, fmt.Errorf("workload: IOSize %d not a sector multiple", mix.IOSize)
+	}
+	res := Results{ReadLat: telemetry.NewHistogram(), WriteLat: telemetry.NewHistogram()}
+	slots := volBytes / int64(mix.IOSize)
+	if slots <= 0 {
+		return Results{}, fmt.Errorf("workload: volume smaller than one IO")
+	}
+
+	h := make(clientHeap, 0, clients)
+	for i := 0; i < clients; i++ {
+		c := &client{
+			next: start,
+			rng:  sim.NewRand(mix.Seed + uint64(i)*7919 + 1),
+			gen:  NewGen(mix.Seed, mix.Class),
+			pos:  int64(i) * (slots / int64(clients)) * int64(mix.IOSize),
+		}
+		if mix.ZipfSkew > 0 {
+			c.zipf = sim.NewZipf(c.rng, slots, mix.ZipfSkew)
+		}
+		heap.Push(&h, c)
+	}
+
+	buf := make([]byte, mix.IOSize)
+	end := start
+	for issued := 0; issued < ops; issued++ {
+		c := heap.Pop(&h).(*client)
+		var off int64
+		switch {
+		case mix.Sequential:
+			off = c.pos
+			c.pos += int64(mix.IOSize)
+			if c.pos+int64(mix.IOSize) > volBytes {
+				c.pos = 0
+			}
+		case c.zipf != nil:
+			off = c.zipf.Next() * int64(mix.IOSize)
+		default:
+			off = c.rng.Int63n(slots) * int64(mix.IOSize)
+		}
+
+		var done sim.Time
+		var err error
+		if c.rng.Float64() < mix.ReadFraction {
+			_, done, err = target.ReadAt(c.next, vol, off, mix.IOSize)
+			if err == nil {
+				res.ReadOps++
+				res.ReadLat.Record(done - c.next)
+			}
+		} else {
+			c.gen.Fill(buf, uint64(off/cblock.SectorSize)+c.blocks)
+			if mix.Class == ClassDatabase || mix.Class == ClassRandom {
+				// Unique content per write for non-dedup classes.
+				c.blocks += uint64(len(buf) / cblock.SectorSize)
+			}
+			done, err = target.WriteAt(c.next, vol, off, buf)
+			if err == nil {
+				res.WriteOps++
+				res.WriteLat.Record(done - c.next)
+			}
+		}
+		if err != nil {
+			res.Errors++
+			done = c.next + sim.Millisecond // back off and continue
+		}
+		res.Ops++
+		c.next = done
+		if done > end {
+			end = done
+		}
+		heap.Push(&h, c)
+	}
+	res.SimDuration = end - start
+	if res.SimDuration > 0 {
+		secs := res.SimDuration.Seconds()
+		res.IOPS = float64(res.Ops-res.Errors) / secs
+		res.ThroughputMB = float64(int64(res.Ops-res.Errors)*int64(mix.IOSize)) / 1e6 / secs
+	}
+	return res, nil
+}
+
+// Prefill writes the volume's first `bytes` with class-typical content in
+// ioSize chunks, so read workloads have something to read. The volume ID
+// doubles as the tenant instance for duplication-aware classes.
+func Prefill(target Target, vol core.VolumeID, bytes int64, ioSize int, class DataClass, seed uint64, start sim.Time) (sim.Time, error) {
+	gen := NewGen(seed, class)
+	gen.Instance = uint64(vol)
+	buf := make([]byte, ioSize)
+	now := start
+	for off := int64(0); off+int64(ioSize) <= bytes; off += int64(ioSize) {
+		gen.Fill(buf, uint64(off/cblock.SectorSize))
+		done, err := target.WriteAt(now, vol, off, buf)
+		if err != nil {
+			return done, err
+		}
+		now = done
+	}
+	return now, nil
+}

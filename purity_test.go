@@ -1,0 +1,151 @@
+package purity
+
+import (
+	"bytes"
+	"testing"
+
+	"purity/internal/core"
+	"purity/internal/sim"
+)
+
+func smallArray(t *testing.T) *Array {
+	t.Helper()
+	a, err := New(WithConfig(core.TestConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestPublicAPIFlow(t *testing.T) {
+	a := smallArray(t)
+	vol, err := a.CreateVolume("app", 4<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 64<<10)
+	sim.NewRand(1).Bytes(data)
+	if err := vol.WriteAt(data, 0); err != nil {
+		t.Fatal(err)
+	}
+	got, err := vol.ReadAt(0, len(data))
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("round trip: %v", err)
+	}
+
+	snap, err := vol.Snapshot("s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone, err := snap.Clone("c1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := clone.WriteAt(make([]byte, 4096), 0); err != nil {
+		t.Fatal(err)
+	}
+	got, err = snap.ReadAt(0, 4096)
+	if err != nil || !bytes.Equal(got, data[:4096]) {
+		t.Fatal("snapshot disturbed by clone write")
+	}
+
+	vols, err := a.Volumes()
+	if err != nil || len(vols) != 3 {
+		t.Fatalf("Volumes = %d, %v", len(vols), err)
+	}
+	opened, err := a.OpenVolume("app")
+	if err != nil || opened.ID() != vol.ID() {
+		t.Fatalf("OpenVolume: %v", err)
+	}
+	if _, err := a.OpenVolume("missing"); err == nil {
+		t.Fatal("missing volume opened")
+	}
+
+	info, err := vol.Info()
+	if err != nil || info.Name != "app" || info.SizeBytes != 4<<20 {
+		t.Fatalf("Info = %+v, %v", info, err)
+	}
+	if a.Elapsed() <= 0 {
+		t.Fatal("virtual clock did not advance")
+	}
+	st := a.Stats()
+	if st.Writes == 0 || st.Reads == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestPublicRecover(t *testing.T) {
+	a := smallArray(t)
+	vol, err := a.CreateVolume("v", 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 32<<10)
+	sim.NewRand(2).Bytes(data)
+	if err := vol.WriteAt(data, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Crash: reopen from the same shelf.
+	a2, rs, err := Recover(core.TestConfig(), a.Shelf())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.NVRAMRecords == 0 {
+		t.Fatal("no replay happened")
+	}
+	v2, err := a2.OpenVolume("v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := v2.ReadAt(0, len(data))
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatal("data lost across recover")
+	}
+}
+
+func TestPublicGCAndScrubAndDelete(t *testing.T) {
+	a := smallArray(t)
+	vol, err := a.CreateVolume("temp", 2<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vol.WriteAt(make([]byte, 256<<10), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := vol.Delete(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := a.GC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SegmentsExamined == 0 {
+		t.Fatalf("GC report = %+v", rep)
+	}
+	srep, err := a.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srep.BadWriteUnits != 0 {
+		t.Fatalf("scrub found damage on a healthy array: %+v", srep)
+	}
+}
+
+func TestOptions(t *testing.T) {
+	a, err := New(
+		WithConfig(core.TestConfig()),
+		WithDrives(7),
+		WithoutCompression(),
+		WithoutDedup(),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := a.Core().Config()
+	if cfg.Shelf.Drives != 7 || cfg.CompressionEnabled || cfg.DedupEnabled {
+		t.Fatalf("options not applied: %+v", cfg)
+	}
+}
