@@ -14,6 +14,7 @@ package controller
 
 import (
 	"errors"
+	"sync"
 
 	"purity/internal/core"
 	"purity/internal/shelf"
@@ -55,12 +56,17 @@ func DefaultConfig() Config {
 // primary death and failover completion).
 var ErrUnavailable = errors.New("controller: array unavailable during failover")
 
-// Pair is the two-controller array frontend.
+// Pair is the two-controller array frontend. Safe for concurrent use: the
+// server dispatches every client connection on its own goroutine, so the
+// small amount of HA state here (who is alive, which engine is live) is
+// guarded by an RWMutex — I/O takes the read side and rides the engine's
+// own internal synchronization, failover takes the write side.
 type Pair struct {
 	cfg      Config
 	arrayCfg core.Config
 	shelf    *shelf.Shelf
 
+	mu           sync.RWMutex
 	array        *core.Array // live engine, owned by the current primary
 	primaryAlive bool
 	warmList     []core.WarmKey
@@ -84,6 +90,8 @@ func NewPair(cfg Config, arrayCfg core.Config) (*Pair, error) {
 
 // Array exposes the live engine (nil while failed over but not recovered).
 func (p *Pair) Array() *core.Array {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	if !p.primaryAlive {
 		return nil
 	}
@@ -91,7 +99,11 @@ func (p *Pair) Array() *core.Array {
 }
 
 // Failovers reports how many failovers have completed.
-func (p *Pair) Failovers() int { return p.failovers }
+func (p *Pair) Failovers() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.failovers
+}
 
 // forwardCost returns the latency tax of the chosen entry point: requests
 // through the secondary cross the interconnect twice (§4.1; as a side
@@ -104,19 +116,23 @@ func (p *Pair) forwardCost(via Role) sim.Time {
 }
 
 func (p *Pair) live() (*core.Array, error) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	if !p.primaryAlive || p.array == nil {
 		return nil, ErrUnavailable
 	}
 	return p.array, nil
 }
 
-// WriteAt serves a client write arriving at the given controller.
+// WriteAt serves a client write arriving at the given controller. Many
+// connection goroutines call this at once; the engine's concurrent write
+// path keeps the CPU stages parallel.
 func (p *Pair) WriteAt(at sim.Time, via Role, vol core.VolumeID, off int64, data []byte) (sim.Time, error) {
 	a, err := p.live()
 	if err != nil {
 		return at, err
 	}
-	done, err := a.WriteAt(at+p.forwardCost(via)/2, vol, off, data)
+	done, err := a.WriteAtConcurrent(at+p.forwardCost(via)/2, vol, off, data)
 	return done + p.forwardCost(via)/2, err
 }
 
@@ -138,13 +154,18 @@ func (p *Pair) WarmSecondary() int {
 	if err != nil {
 		return 0
 	}
-	p.warmList = a.CacheWarmKeys()
-	return len(p.warmList)
+	keys := a.CacheWarmKeys()
+	p.mu.Lock()
+	p.warmList = keys
+	p.mu.Unlock()
+	return len(keys)
 }
 
 // KillPrimary models a controller failure: the engine's in-memory state is
 // gone. The shelf (SSDs and NVRAM) is dual-ported and survives.
 func (p *Pair) KillPrimary() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	p.array = nil
 	p.primaryAlive = false
 }
@@ -162,6 +183,8 @@ type FailoverReport struct {
 // recovery from the shared shelf. It returns the client-visible
 // unavailability, which the paper keeps well under the 30 s I/O timeout.
 func (p *Pair) Failover(at sim.Time) (FailoverReport, sim.Time, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if p.primaryAlive {
 		return FailoverReport{}, at, errors.New("controller: primary still alive")
 	}

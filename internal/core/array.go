@@ -12,6 +12,7 @@ import (
 	"purity/internal/frontier"
 	"purity/internal/iosched"
 	"purity/internal/layout"
+	"purity/internal/pipeline"
 	"purity/internal/pyramid"
 	"purity/internal/relation"
 	"purity/internal/shelf"
@@ -19,9 +20,6 @@ import (
 	"purity/internal/telemetry"
 	"purity/internal/tuple"
 )
-
-// debugSegReads dumps context when a segment read fails (diagnostics).
-var debugSegReads = false
 
 // Segment classes: segments are specialized by what they hold, so that GC
 // can treat them differently — the paper segregates deduplicated blocks
@@ -38,13 +36,18 @@ const (
 )
 
 // Array is one Purity storage engine instance. All public methods are safe
-// for concurrent use (a single engine mutex serializes state mutation; the
-// real system shards this across cores, which a simulation gains nothing
-// from).
+// for concurrent use: the pure-CPU stages of a write (compression, dedup
+// hashing, parity arithmetic) run before or outside the engine mutex on a
+// shared worker pool, and the mutex covers only what genuinely needs
+// ordering — sequence allocation, placement bookkeeping, NVRAM appends and
+// fact application (see DESIGN.md, "Concurrency model").
 type Array struct {
 	cfg   Config
 	shelf *shelf.Shelf
 	coder *erasure.Coder
+	// pool runs the write path's pure-CPU stages (cblock packing, dedup
+	// hashing, RS parity, CRCs) across cores without holding mu.
+	pool *pipeline.Pool
 
 	mu sync.Mutex
 
@@ -100,13 +103,21 @@ type Stats struct {
 	Flattened           int64
 	HedgedReads         int64
 	SpeculativePromotes int64
+	// SegReadErrors / UnpackErrors count segment-read and cblock-unpack
+	// failures (formerly ad-hoc debug prints). Both conditions are survived
+	// — reads reconstruct, dedup candidates are skipped — but a nonzero
+	// rate is the first sign of a placement or liveness bug.
+	SegReadErrors *telemetry.Counter
+	UnpackErrors  *telemetry.Counter
 }
 
 func newStats() Stats {
 	return Stats{
-		WriteLatency: telemetry.NewHistogram(),
-		ReadLatency:  telemetry.NewHistogram(),
-		Reduction:    &telemetry.Reduction{},
+		WriteLatency:  telemetry.NewHistogram(),
+		ReadLatency:   telemetry.NewHistogram(),
+		Reduction:     &telemetry.Reduction{},
+		SegReadErrors: telemetry.NewCounter(),
+		UnpackErrors:  telemetry.NewCounter(),
 	}
 }
 
@@ -166,6 +177,7 @@ func newSkeleton(cfg Config, sh *shelf.Shelf) (*Array, error) {
 		cfg:         cfg,
 		shelf:       sh,
 		coder:       coder,
+		pool:        pipeline.Shared(),
 		seqs:        tuple.NewSeqSource(0),
 		pyr:         make(map[uint32]*pyramid.Pyramid),
 		elides:      make(map[uint32]*elide.Table),
@@ -293,6 +305,7 @@ func (a *Array) ensureOpenLocked(at sim.Time, class segClass) (*layout.Writer, s
 	if err != nil {
 		return nil, done, err
 	}
+	w.SetParallel(a.pool.Run)
 	a.open[class] = w
 	a.segMap[id] = w.Info()
 
@@ -416,17 +429,8 @@ func (a *Array) readSegmentLocked(at sim.Time, id layout.SegmentID, off int64, n
 	}
 	b, done, rstats, err := a.reader.ReadRange(at, info, off, n, a.cfg.ReadPolicy.AvoidBusy)
 	a.stats.SegRead.Add(rstats)
-	if err != nil && debugSegReads {
-		fmt.Printf("DEBUG segread fail: seg=%d off=%d n=%d info=%+v\n", id, off, n, info)
-		for relID, p := range a.pyr {
-			for pi, patch := range p.Patches() {
-				for _, pg := range patch.Pages {
-					if pg.Ref.Segment == uint64(id) {
-						fmt.Printf("DEBUG rel=%d patch[%d] seq[%d,%d] references page %+v\n", relID, pi, patch.SeqLo, patch.SeqHi, pg.Ref)
-					}
-				}
-			}
-		}
+	if err != nil {
+		a.stats.SegReadErrors.Inc()
 	}
 	return b, done, err
 }

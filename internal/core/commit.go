@@ -55,7 +55,13 @@ func decodeFactsRecord(b []byte) (uint32, []tuple.Fact, error) {
 
 // encodeWriteRecord frames a recWrite record.
 func encodeWriteRecord(chunks []writeChunk) []byte {
-	b := []byte{recWrite}
+	// Size estimate: payload bytes plus a generous per-fact bound, so the
+	// record is (almost always) allocated once.
+	size := 16
+	for _, ch := range chunks {
+		size += len(ch.payload) + 96*(1+len(ch.dedup))
+	}
+	b := append(make([]byte, 0, size), recWrite)
 	b = binary.AppendUvarint(b, uint64(len(chunks)))
 	for _, ch := range chunks {
 		b = tuple.Append(b, relation.AddrsSchema, ch.addr)

@@ -38,6 +38,8 @@ type StatsSnapshot struct {
 	Flattened           int64
 	HedgedReads         int64
 	SpeculativePromotes int64
+	SegReadErrors       int64
+	UnpackErrors        int64
 
 	Segments    int
 	FrontierAUs int
@@ -77,6 +79,8 @@ func (a *Array) Stats() StatsSnapshot {
 		Flattened:           a.stats.Flattened,
 		HedgedReads:         a.stats.HedgedReads,
 		SpeculativePromotes: a.stats.SpeculativePromotes,
+		SegReadErrors:       a.stats.SegReadErrors.Load(),
+		UnpackErrors:        a.stats.UnpackErrors.Load(),
 		Segments:            len(a.segMap),
 		ProvisionedBytes:    a.provisionedLocked(),
 		FrontierAUs:         a.alloc.FrontierSize(),

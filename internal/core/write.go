@@ -11,16 +11,100 @@ import (
 	"purity/internal/tuple"
 )
 
+// The write path is split into two halves so parallel clients only
+// serialize on the work that truly needs ordering (§3.2: monotonic facts
+// need "almost no cross-core synchronization"):
+//
+//   1. prepareWrite — pure CPU, no locks: split into cblock extents,
+//      compress each extent (cblock.Pack) and hash its 512 B blocks
+//      (dedup.HashBlocks). Extents fan out across the shared worker pool.
+//   2. commitWriteLocked — under mu: volume lookup, dedup candidate search
+//      (it reads the index and segments), sequence allocation, segment
+//      placement, the NVRAM commit, and fact application.
+//
+// Both halves are deterministic: stage 1 is a function of the data alone,
+// and stage 2 runs serially in commit order, so a sequential caller gets
+// bit-for-bit the behavior of the old single-lock path (DESIGN.md
+// invariant 8).
+
+// preparedExtent is one cblock-sized extent of a write after its pure-CPU
+// stages: the packed (compressed) frame for the whole extent and the hash
+// of every 512 B block. Hashes are per-block, so any sub-range of the
+// extent reuses a slice of them; the frame only serves the whole-extent
+// literal case (a dedup hit repacks the literal remainder, which is
+// smaller).
+type preparedExtent struct {
+	sectorOff uint64 // sector offset within the write
+	part      []byte
+	frame     []byte
+	hashes    []uint64
+}
+
+// prepareWrite validates alignment and runs the lock-free CPU stages.
+func (a *Array) prepareWrite(off int64, data []byte) ([]preparedExtent, error) {
+	if off%cblock.SectorSize != 0 || len(data)%cblock.SectorSize != 0 || len(data) == 0 {
+		return nil, ErrUnaligned
+	}
+	exts, err := cblock.SplitWrite(len(data))
+	if err != nil {
+		return nil, err
+	}
+	prep := make([]preparedExtent, len(exts))
+	errs := make([]error, len(exts))
+	tasks := make([]func(), len(exts))
+	for i, ext := range exts {
+		i, ext := i, ext
+		tasks[i] = func() {
+			part := data[ext.Offset : ext.Offset+ext.Len]
+			frame, err := cblock.Pack(part, a.cfg.CompressionEnabled)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			prep[i] = preparedExtent{
+				sectorOff: uint64(ext.Offset) / cblock.SectorSize,
+				part:      part,
+				frame:     frame,
+				hashes:    dedup.HashBlocks(part),
+			}
+		}
+	}
+	a.pool.Run(tasks...)
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return prep, nil
+}
+
 // WriteAt writes data to a volume at a byte offset (both sector-aligned).
 // The write is acknowledged when its facts and payloads are durable in
 // NVRAM; segment placement happens in the same call but does not gate the
 // returned completion time — this is the paper's commit path (Figure 4).
+// Safe for concurrent callers: compression and hashing run before the
+// engine lock is taken.
 func (a *Array) WriteAt(at sim.Time, vol VolumeID, off int64, data []byte) (sim.Time, error) {
+	prep, err := a.prepareWrite(off, data)
+	if err != nil {
+		return at, err
+	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	if off%cblock.SectorSize != 0 || len(data)%cblock.SectorSize != 0 || len(data) == 0 {
-		return at, ErrUnaligned
-	}
+	return a.commitWriteLocked(at, vol, off, data, prep)
+}
+
+// WriteAtConcurrent is the concurrent entry point for parallel clients. It
+// is WriteAt by another name — the name documents that callers may invoke
+// it from many goroutines at once (each TCP connection in internal/server
+// does) and records the API contract independently of WriteAt's internals.
+func (a *Array) WriteAtConcurrent(at sim.Time, vol VolumeID, off int64, data []byte) (sim.Time, error) {
+	return a.WriteAt(at, vol, off, data)
+}
+
+// commitWriteLocked is the serial half of a write: everything that orders
+// state. Caller holds mu.
+func (a *Array) commitWriteLocked(at sim.Time, vol VolumeID, off int64, data []byte, prep []preparedExtent) (sim.Time, error) {
 	row, done, err := a.volumeLocked(at, vol)
 	if err != nil {
 		return done, err
@@ -33,25 +117,17 @@ func (a *Array) WriteAt(at sim.Time, vol VolumeID, off int64, data []byte) (sim.
 		return done, ErrOutOfRange
 	}
 
-	exts, err := cblock.SplitWrite(len(data))
-	if err != nil {
-		return done, err
-	}
 	var chunks []writeChunk
-	var facts []tuple.Fact
 	var physical, deduped int64
-	for _, ext := range exts {
-		part := data[ext.Offset : ext.Offset+ext.Len]
-		sector := startSector + uint64(ext.Offset)/cblock.SectorSize
-		cs, d, err := a.placeCBlockLocked(done, row.Medium, sector, part)
+	for _, pe := range prep {
+		sector := startSector + pe.sectorOff
+		cs, d, err := a.placeCBlockLocked(done, row.Medium, sector, pe)
 		done = d
 		if err != nil {
 			return done, err
 		}
 		for _, ch := range cs {
 			chunks = append(chunks, ch)
-			facts = append(facts, ch.addr)
-			facts = append(facts, ch.dedup...)
 			if ch.payload != nil {
 				physical += int64(relation.AddrFromFact(ch.addr).PhysLen)
 			} else {
@@ -86,21 +162,25 @@ func (a *Array) WriteAt(at sim.Time, vol VolumeID, off int64, data []byte) (sim.
 	return ackAt, nil
 }
 
-// placeCBlockLocked turns one cblock-sized extent of a write into chunks:
-// a deduplicated run referencing existing data, plus literal cblocks that
-// are compressed and appended to the data segment. Caller holds mu.
-func (a *Array) placeCBlockLocked(at sim.Time, medium, sector uint64, part []byte) ([]writeChunk, sim.Time, error) {
+// placeCBlockLocked turns one prepared extent of a write into chunks: a
+// deduplicated run referencing existing data, plus literal cblocks that are
+// appended to the data segment. Caller holds mu.
+func (a *Array) placeCBlockLocked(at sim.Time, medium, sector uint64, pe preparedExtent) ([]writeChunk, sim.Time, error) {
 	done := at
+	part := pe.part
 	if a.cfg.DedupEnabled {
-		run, d, found := a.findDuplicateLocked(done, part)
+		run, d, found := a.findDuplicateLocked(done, part, pe.hashes)
 		done = d
 		if found && (run.Count >= a.cfg.DedupMinRunBlocks || run.Count == len(part)/cblock.SectorSize) {
 			a.stats.DedupHits++
 			a.stats.InlineDupBlocks += int64(run.Count)
 			var chunks []writeChunk
-			// Literal prefix.
+			// Literal prefix. The whole-extent frame does not cover a
+			// sub-range, so the remainder is packed here (under mu — dedup
+			// hits are the already-cheap path) with its hash slice reused.
 			if run.Start > 0 {
-				cs, d, err := a.literalChunkLocked(done, medium, sector, part[:run.Start*cblock.SectorSize])
+				cs, d, err := a.literalChunkLocked(done, medium, sector,
+					part[:run.Start*cblock.SectorSize], nil, pe.hashes[:run.Start])
 				done = d
 				if err != nil {
 					return nil, done, err
@@ -120,7 +200,8 @@ func (a *Array) placeCBlockLocked(at sim.Time, medium, sector uint64, part []byt
 			}.Fact(a.seqs.Next())})
 			// Literal suffix.
 			if end := run.Start + run.Count; end < len(part)/cblock.SectorSize {
-				cs, d, err := a.literalChunkLocked(done, medium, sector+uint64(end), part[end*cblock.SectorSize:])
+				cs, d, err := a.literalChunkLocked(done, medium, sector+uint64(end),
+					part[end*cblock.SectorSize:], nil, pe.hashes[end:])
 				done = d
 				if err != nil {
 					return nil, done, err
@@ -131,19 +212,24 @@ func (a *Array) placeCBlockLocked(at sim.Time, medium, sector uint64, part []byt
 		}
 		a.stats.DedupMisses++
 	}
-	cs, d, err := a.literalChunkLocked(done, medium, sector, part)
+	cs, d, err := a.literalChunkLocked(done, medium, sector, part, pe.frame, pe.hashes)
 	if err != nil {
 		return nil, d, err
 	}
 	return []writeChunk{cs}, d, nil
 }
 
-// literalChunkLocked compresses and places new data, producing its address
-// fact and sampled dedup facts. Caller holds mu.
-func (a *Array) literalChunkLocked(at sim.Time, medium, sector uint64, part []byte) (writeChunk, sim.Time, error) {
-	frame, err := cblock.Pack(part, a.cfg.CompressionEnabled)
-	if err != nil {
-		return writeChunk{}, at, err
+// literalChunkLocked places new data, producing its address fact and
+// sampled dedup facts. frame is the pre-packed cblock for part (packed here
+// when nil); hashes are part's per-block hashes, computed exactly once per
+// extent in prepareWrite and threaded through. Caller holds mu.
+func (a *Array) literalChunkLocked(at sim.Time, medium, sector uint64, part, frame []byte, hashes []uint64) (writeChunk, sim.Time, error) {
+	if frame == nil {
+		var err error
+		frame, err = cblock.Pack(part, a.cfg.CompressionEnabled)
+		if err != nil {
+			return writeChunk{}, at, err
+		}
 	}
 	// The segio append may trigger a background flush; its completion time
 	// advances the drives' busy state but must not gate this write's
@@ -165,8 +251,7 @@ func (a *Array) literalChunkLocked(at sim.Time, medium, sector uint64, part []by
 	}
 	a.liveBytes[seg] += int64(len(frame))
 
-	// Hash every block; record a sample persistently, everything recently.
-	hashes := dedup.HashBlocks(part)
+	// Record a sample of the block hashes persistently, everything recently.
 	for i, h := range hashes {
 		cand := dedup.Candidate{Segment: uint64(seg), SegOff: uint64(segOff), PhysLen: uint64(len(frame)), SectorIdx: uint64(i)}
 		a.recent.Add(h, cand)
@@ -182,10 +267,10 @@ func (a *Array) literalChunkLocked(at sim.Time, medium, sector uint64, part []by
 
 // findDuplicateLocked looks every block hash up in the recent index and the
 // persistent dedup relation, byte-verifies the first candidate that pans
-// out, and extends it into a run (§4.7). Caller holds mu.
-func (a *Array) findDuplicateLocked(at sim.Time, part []byte) (dedup.Run, sim.Time, bool) {
+// out, and extends it into a run (§4.7). hashes are part's precomputed
+// block hashes. Caller holds mu.
+func (a *Array) findDuplicateLocked(at sim.Time, part []byte, hashes []uint64) (dedup.Run, sim.Time, bool) {
 	done := at
-	hashes := dedup.HashBlocks(part)
 	fetch := func(c dedup.Candidate) ([]byte, bool) {
 		sectors, d, err := a.fetchDurableCBlockLocked(done, c.Segment, c.SegOff, int(c.PhysLen))
 		done = d
@@ -247,17 +332,7 @@ func (a *Array) readCBlockLocked(at sim.Time, seg, segOff uint64, physLen int) (
 	}
 	sectors, err := cblock.Unpack(frame)
 	if err != nil {
-		if debugSegReads {
-			info, ok := a.segInfoLocked(layout.SegmentID(seg))
-			open := false
-			for _, w := range a.open {
-				if w != nil && w.Info().ID == layout.SegmentID(seg) {
-					open = true
-				}
-			}
-			fmt.Printf("DEBUG unpack fail seg=%d off=%d len=%d ok=%v open=%v info=%+v head=%x\n",
-				seg, segOff, physLen, ok, open, info, frame[:16])
-		}
+		a.stats.UnpackErrors.Inc()
 		return nil, done, err
 	}
 	a.cblocks.put(key, physLen, sectors)

@@ -58,11 +58,23 @@ type Candidate struct {
 // frequently deduplicated blocks. Inline dedup "only checks for duplicates
 // of recently written data and frequently deduplicated data" (§4.7); the
 // persistent dedup relation holds the sampled long-term entries, and this
-// bounded map holds the short-term ones. Safe for concurrent use.
+// bounded index holds the short-term ones. Safe for concurrent use.
+//
+// The table is open-addressed with linear probing rather than a Go map:
+// it is probed once per 512 B block of every write, and the keys are
+// already 64-bit FNV hashes, so a single multiply spreads them. Eviction
+// (FIFO via the ring) deletes ring[pos] immediately before overwriting the
+// slot, so every live key has exactly one live ring slot and occupancy
+// never exceeds cap; the table is sized 2·cap for a ≤ 0.5 load factor.
 type RecentIndex struct {
 	mu    sync.Mutex
 	cap   int
-	table map[uint64]Candidate
+	n     int
+	mask  uint64
+	shift uint
+	keys  []uint64
+	vals  []Candidate
+	used  []bool
 	ring  []uint64 // insertion order for eviction
 	pos   int
 }
@@ -72,40 +84,107 @@ func NewRecentIndex(capacity int) *RecentIndex {
 	if capacity <= 0 {
 		capacity = 1 << 16
 	}
+	bits := uint(1)
+	for (1 << bits) < 2*capacity {
+		bits++
+	}
+	size := 1 << bits
 	return &RecentIndex{
 		cap:   capacity,
-		table: make(map[uint64]Candidate, capacity),
+		mask:  uint64(size - 1),
+		shift: 64 - bits,
+		keys:  make([]uint64, size),
+		vals:  make([]Candidate, size),
+		used:  make([]bool, size),
 		ring:  make([]uint64, capacity),
 	}
+}
+
+// slot returns the home slot for a hash (Fibonacci hashing: the keys are
+// already uniform FNV hashes, one multiply guards against masked-bit bias).
+func (r *RecentIndex) slot(h uint64) uint64 {
+	return (h * 0x9E3779B97F4A7C15) >> r.shift
+}
+
+// find returns the slot holding hash, or the empty slot that ends its
+// probe sequence.
+func (r *RecentIndex) find(hash uint64) (uint64, bool) {
+	i := r.slot(hash)
+	for r.used[i] {
+		if r.keys[i] == hash {
+			return i, true
+		}
+		i = (i + 1) & r.mask
+	}
+	return i, false
+}
+
+// del removes hash if present, back-shifting later entries of the probe
+// chain so no tombstones accumulate.
+func (r *RecentIndex) del(hash uint64) {
+	i, ok := r.find(hash)
+	if !ok {
+		return
+	}
+	j := i
+	for {
+		j = (j + 1) & r.mask
+		if !r.used[j] {
+			break
+		}
+		k := r.slot(r.keys[j])
+		// Entry at j stays if its home k lies cyclically in (i, j].
+		if i <= j {
+			if i < k && k <= j {
+				continue
+			}
+		} else if k <= j || i < k {
+			continue
+		}
+		r.keys[i], r.vals[i] = r.keys[j], r.vals[j]
+		i = j
+	}
+	r.used[i] = false
+	r.n--
 }
 
 // Add records a block's location, evicting the oldest entry when full.
 func (r *RecentIndex) Add(hash uint64, c Candidate) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if _, exists := r.table[hash]; !exists {
-		if len(r.table) >= r.cap {
-			delete(r.table, r.ring[r.pos])
-		}
-		r.ring[r.pos] = hash
-		r.pos = (r.pos + 1) % r.cap
+	if i, ok := r.find(hash); ok {
+		r.vals[i] = c
+		return
 	}
-	r.table[hash] = c
+	if r.n >= r.cap {
+		r.del(r.ring[r.pos])
+	}
+	r.ring[r.pos] = hash
+	r.pos++
+	if r.pos == r.cap {
+		r.pos = 0
+	}
+	i, _ := r.find(hash)
+	r.keys[i], r.vals[i], r.used[i] = hash, c, true
+	r.n++
 }
 
 // Lookup returns the candidate for a hash, if present.
 func (r *RecentIndex) Lookup(hash uint64) (Candidate, bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	c, ok := r.table[hash]
-	return c, ok
+	i, ok := r.find(hash)
+	if !ok {
+		return Candidate{}, false
+	}
+	return r.vals[i], true
 }
 
 // Len returns the number of entries.
 func (r *RecentIndex) Len() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return len(r.table)
+	return r.n
 }
 
 // Run is a verified duplicate run within a new write: blocks [Start,

@@ -213,3 +213,42 @@ func BenchmarkHash512(b *testing.B) {
 		Hash(block)
 	}
 }
+
+// TestRecentIndexAgainstModel churns the open-addressed index with random
+// adds and lookups and compares every observation against the simple
+// map-plus-ring model the index replaces. Small key spaces force constant
+// probe-chain collisions and back-shift deletes.
+func TestRecentIndexAgainstModel(t *testing.T) {
+	for _, keySpace := range []uint64{7, 40, 1000} {
+		idx := NewRecentIndex(16)
+		model := make(map[uint64]Candidate, 16)
+		ring := make([]uint64, 16)
+		pos := 0
+		rng := sim.NewRand(uint64(keySpace) * 7919)
+		for step := 0; step < 20000; step++ {
+			h := uint64(rng.Intn(int(keySpace)))
+			if rng.Intn(3) == 0 {
+				got, ok := idx.Lookup(h)
+				want, wok := model[h]
+				if ok != wok || got != want {
+					t.Fatalf("keySpace %d step %d: Lookup(%d) = %v,%v want %v,%v",
+						keySpace, step, h, got, ok, want, wok)
+				}
+				continue
+			}
+			c := Candidate{Segment: uint64(step), SectorIdx: h}
+			idx.Add(h, c)
+			if _, exists := model[h]; !exists {
+				if len(model) >= 16 {
+					delete(model, ring[pos])
+				}
+				ring[pos] = h
+				pos = (pos + 1) % 16
+			}
+			model[h] = c
+			if idx.Len() != len(model) {
+				t.Fatalf("keySpace %d step %d: Len = %d want %d", keySpace, step, idx.Len(), len(model))
+			}
+		}
+	}
+}

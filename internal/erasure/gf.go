@@ -5,6 +5,8 @@
 // (§4.4) — is recoverable from any K of the K+M shards.
 package erasure
 
+import "encoding/binary"
+
 // GF(2^8) with the primitive polynomial x^8+x^4+x^3+x^2+1 (0x11d), the same
 // field used by most storage RS implementations.
 const fieldPoly = 0x11d
@@ -12,6 +14,10 @@ const fieldPoly = 0x11d
 var (
 	expTable [512]byte // doubled so mul can skip a mod 255
 	logTable [256]byte
+	// mulTable[c][b] = c*b. 64 KiB buys the encode/reconstruct inner loops
+	// a single indexed load per byte with no per-call row construction —
+	// the kernels below are the engine's hottest pure-CPU arithmetic.
+	mulTable [256][256]byte
 )
 
 func init() {
@@ -26,6 +32,12 @@ func init() {
 	}
 	for i := 255; i < 512; i++ {
 		expTable[i] = expTable[i-255]
+	}
+	for c := 1; c < 256; c++ {
+		lc := int(logTable[c])
+		for b := 1; b < 256; b++ {
+			mulTable[c][b] = expTable[lc+int(logTable[b])]
+		}
 	}
 }
 
@@ -78,20 +90,19 @@ func mulAdd(dst, src []byte, c byte) {
 		return
 	}
 	if c == 1 {
-		for i, s := range src {
-			dst[i] ^= s
-		}
+		xorBytes(dst, src)
 		return
 	}
-	// Per-coefficient lookup row: one 256-byte table per call amortizes the
-	// log/exp lookups across the whole shard.
-	var row [256]byte
-	lc := int(logTable[c])
-	for b := 1; b < 256; b++ {
-		row[b] = expTable[lc+int(logTable[b])]
+	row := &mulTable[c]
+	n := len(src) &^ 3
+	for i := 0; i < n; i += 4 {
+		dst[i] ^= row[src[i]]
+		dst[i+1] ^= row[src[i+1]]
+		dst[i+2] ^= row[src[i+2]]
+		dst[i+3] ^= row[src[i+3]]
 	}
-	for i, s := range src {
-		dst[i] ^= row[s]
+	for i := n; i < len(src); i++ {
+		dst[i] ^= row[src[i]]
 	}
 }
 
@@ -107,12 +118,28 @@ func mulSet(dst, src []byte, c byte) {
 		copy(dst, src)
 		return
 	}
-	var row [256]byte
-	lc := int(logTable[c])
-	for b := 1; b < 256; b++ {
-		row[b] = expTable[lc+int(logTable[b])]
+	row := &mulTable[c]
+	n := len(src) &^ 3
+	for i := 0; i < n; i += 4 {
+		dst[i] = row[src[i]]
+		dst[i+1] = row[src[i+1]]
+		dst[i+2] = row[src[i+2]]
+		dst[i+3] = row[src[i+3]]
 	}
-	for i, s := range src {
-		dst[i] = row[s]
+	for i := n; i < len(src); i++ {
+		dst[i] = row[src[i]]
+	}
+}
+
+// xorBytes computes dst[i] ^= src[i] eight bytes at a time — the c==1 case
+// of mulAdd, which for systematic RS is one of every K coefficient rows.
+func xorBytes(dst, src []byte) {
+	n := len(src) &^ 7
+	for i := 0; i < n; i += 8 {
+		binary.LittleEndian.PutUint64(dst[i:],
+			binary.LittleEndian.Uint64(dst[i:])^binary.LittleEndian.Uint64(src[i:]))
+	}
+	for i := n; i < len(src); i++ {
+		dst[i] ^= src[i]
 	}
 }

@@ -137,6 +137,104 @@ func TestMulSetMatchesScalar(t *testing.T) {
 	}
 }
 
+func TestMulAddUnalignedLengths(t *testing.T) {
+	// The chunked fast paths must agree with scalar math on every length
+	// around the 4- and 8-byte unroll boundaries.
+	for _, n := range []int{0, 1, 3, 4, 5, 7, 8, 9, 15, 16, 17, 31, 33, 63, 65} {
+		src := make([]byte, n)
+		for i := range src {
+			src[i] = byte(i*37 + 1)
+		}
+		for _, c := range []byte{1, 2, 0x8e, 0xff} {
+			dst := make([]byte, n)
+			want := make([]byte, n)
+			for i := range dst {
+				dst[i] = byte(i * 29)
+				want[i] = dst[i] ^ gfMul(c, src[i])
+			}
+			mulAdd(dst, src, c)
+			for i := range dst {
+				if dst[i] != want[i] {
+					t.Fatalf("n=%d c=%#x: mismatch at %d", n, c, i)
+				}
+			}
+		}
+	}
+}
+
+func TestEncodeRangeMatchesEncode(t *testing.T) {
+	c, err := New(7, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const size = 1000
+	mk := func() [][]byte {
+		shards := make([][]byte, 9)
+		for i := range shards {
+			shards[i] = make([]byte, size)
+			for j := range shards[i] {
+				shards[i][j] = byte(i*31 + j*7)
+			}
+		}
+		return shards
+	}
+	whole := mk()
+	if err := c.Encode(whole); err != nil {
+		t.Fatal(err)
+	}
+	chunked := mk()
+	for lo := 0; lo < size; lo += 137 {
+		hi := lo + 137
+		if hi > size {
+			hi = size
+		}
+		if err := c.EncodeRange(chunked, lo, hi); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for p := 7; p < 9; p++ {
+		for i := range whole[p] {
+			if whole[p][i] != chunked[p][i] {
+				t.Fatalf("parity %d byte %d: chunked encode diverges", p, i)
+			}
+		}
+	}
+}
+
+// BenchmarkMulAdd guards the GF kernel fast paths: the c==1 XOR path and
+// the table-lookup path are the inner loops of every parity encode and
+// reconstruction.
+func BenchmarkMulAdd(b *testing.B) {
+	src := make([]byte, 32<<10)
+	dst := make([]byte, 32<<10)
+	for i := range src {
+		src[i] = byte(i)
+	}
+	for _, bc := range []struct {
+		name string
+		c    byte
+	}{{"xor-c1", 1}, {"table-c83", 0x53}} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.SetBytes(int64(len(src)))
+			for i := 0; i < b.N; i++ {
+				mulAdd(dst, src, bc.c)
+			}
+		})
+	}
+}
+
+func BenchmarkMulSet(b *testing.B) {
+	src := make([]byte, 32<<10)
+	dst := make([]byte, 32<<10)
+	for i := range src {
+		src[i] = byte(i)
+	}
+	b.SetBytes(int64(len(src)))
+	for i := 0; i < b.N; i++ {
+		mulSet(dst, src, 0x53)
+	}
+}
+
 func TestMatrixInvert(t *testing.T) {
 	// Invert random-ish Vandermonde submatrices and check M * M^-1 = I.
 	for _, n := range []int{1, 2, 3, 5, 7, 9} {

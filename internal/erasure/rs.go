@@ -59,15 +59,37 @@ func (c *Coder) Encode(shards [][]byte) error {
 	if err := c.checkShards(shards, false); err != nil {
 		return err
 	}
+	c.encodeRange(shards, 0, len(shards[0]))
+	return nil
+}
+
+// EncodeRange computes the parity bytes for columns [lo, hi) only. Parity
+// is byte-wise, so any column partition of a stripe can be encoded
+// independently — the segio flush fans ranges out across a worker pool and
+// the concatenation is byte-identical to a single Encode call.
+func (c *Coder) EncodeRange(shards [][]byte, lo, hi int) error {
+	if err := c.checkShards(shards, false); err != nil {
+		return err
+	}
+	if lo < 0 || hi > len(shards[0]) || lo > hi {
+		return ErrInvalidShards
+	}
+	c.encodeRange(shards, lo, hi)
+	return nil
+}
+
+func (c *Coder) encodeRange(shards [][]byte, lo, hi int) {
+	if lo == hi {
+		return
+	}
 	for p := 0; p < c.m; p++ {
 		row := c.enc.row(c.k + p)
-		out := shards[c.k+p]
-		mulSet(out, shards[0], row[0])
+		out := shards[c.k+p][lo:hi]
+		mulSet(out, shards[0][lo:hi], row[0])
 		for d := 1; d < c.k; d++ {
-			mulAdd(out, shards[d], row[d])
+			mulAdd(out, shards[d][lo:hi], row[d])
 		}
 	}
-	return nil
 }
 
 // Verify reports whether the parity shards are consistent with the data

@@ -1,5 +1,7 @@
 package pagecodec
 
+import "encoding/binary"
+
 // bitWriter packs variable-width unsigned values LSB-first into a byte
 // slice. Tuple fields in a page all share one fixed row width, so a reader
 // can seek to row*rowBits directly (the property §4.9 uses to scan pages
@@ -47,6 +49,14 @@ func (w *bitWriter) finish() []byte {
 // readBits extracts `width` bits starting at bit offset `off` from buf,
 // LSB-first, matching bitWriter's layout.
 func readBits(buf []byte, off uint64, width uint) uint64 {
+	if width == 0 {
+		return 0
+	}
+	// Fast path: the field fits in one 8-byte load.
+	byteIdx := off >> 3
+	if bitIdx := uint(off & 7); bitIdx+width <= 64 && byteIdx+8 <= uint64(len(buf)) {
+		return binary.LittleEndian.Uint64(buf[byteIdx:]) >> bitIdx & (^uint64(0) >> (64 - width))
+	}
 	var out uint64
 	var got uint
 	for got < width {

@@ -54,10 +54,20 @@ func clusterBases(sorted []uint64, w uint) []uint64 {
 	if w >= 64 {
 		return []uint64{0}
 	}
-	var bases []uint64
+	// Count first so the result is allocated exactly once.
 	span := uint64(1) << w
+	n := 0
 	var base uint64
 	have := false
+	for _, v := range sorted {
+		if !have || v-base >= span {
+			base = v
+			n++
+			have = true
+		}
+	}
+	bases := make([]uint64, 0, n)
+	have = false
 	for _, v := range sorted {
 		if !have || v-base >= span {
 			base = v

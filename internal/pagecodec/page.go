@@ -15,6 +15,8 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"sort"
+	"sync"
 
 	"purity/internal/tuple"
 )
@@ -45,10 +47,11 @@ func Encode(s tuple.Schema, facts []tuple.Fact) ([]byte, error) {
 		totalCols++ // + blob length column
 	}
 
-	// Gather column values.
+	// Gather column values (one backing array for all columns).
+	backing := make([]uint64, totalCols*len(facts))
 	colVals := make([][]uint64, totalCols)
 	for c := range colVals {
-		colVals[c] = make([]uint64, len(facts))
+		colVals[c] = backing[c*len(facts) : (c+1)*len(facts) : (c+1)*len(facts)]
 	}
 	var blobBytes int
 	for i, f := range facts {
@@ -70,8 +73,16 @@ func Encode(s tuple.Schema, facts []tuple.Fact) ([]byte, error) {
 		dicts[c] = buildDict(colVals[c])
 	}
 
-	// Header.
-	var out []byte
+	// Header. The final size is known once the dictionaries are chosen, so
+	// the output is allocated exactly once.
+	headerLen := 12
+	var rowBits uint
+	for _, d := range dicts {
+		headerLen += 3 + 8*len(d.bases)
+		rowBits += d.rowBits()
+	}
+	rowBytes := int((uint64(len(facts))*uint64(rowBits) + 7) / 8)
+	out := make([]byte, 0, headerLen+rowBytes+blobBytes+4)
 	out = binary.LittleEndian.AppendUint16(out, magic)
 	out = append(out, version)
 	flags := byte(0)
@@ -90,7 +101,7 @@ func Encode(s tuple.Schema, facts []tuple.Fact) ([]byte, error) {
 	}
 
 	// Packed rows.
-	var w bitWriter
+	w := bitWriter{buf: make([]byte, 0, rowBytes+1)}
 	for i := range facts {
 		for c := 0; c < totalCols; c++ {
 			x, o, ok := dicts[c].encode(colVals[c][i])
@@ -127,6 +138,28 @@ type Page struct {
 	bitsOff   int    // byte offset of packed rows
 	blobOff   int    // byte offset of blob area (0 if no blobs)
 	colShift  []uint // bit offset of each column within a row
+
+	// Key lookups bit-decode the same rows over and over (binary searches
+	// probe log n rows per call, and pages are cached across calls), so the
+	// key columns are materialized once on first use. Pages are immutable;
+	// the Once makes the lazy build safe for concurrent readers.
+	keysOnce sync.Once
+	keys     []uint64 // rowCount × KeyCols, row-major
+}
+
+// keyCache decodes all key columns on first use.
+func (p *Page) keyCache() []uint64 {
+	p.keysOnce.Do(func() {
+		k := p.schema.KeyCols
+		keys := make([]uint64, p.rowCount*k)
+		for i := 0; i < p.rowCount; i++ {
+			for c := 0; c < k; c++ {
+				keys[i*k+c] = p.col(i, c)
+			}
+		}
+		p.keys = keys
+	})
+	return p.keys
 }
 
 // Open parses and validates an encoded page.
@@ -204,12 +237,15 @@ func (p *Page) col(i, c int) uint64 {
 // Seq returns the sequence number of row i.
 func (p *Page) Seq(i int) tuple.Seq { return tuple.Seq(p.col(i, p.schema.Cols)) }
 
-// Key decodes only the key columns of row i, appending to dst.
+// Keys returns the decoded key columns of every row, row-major
+// (RowCount × KeyCols). The slice is shared; callers must not modify it.
+func (p *Page) Keys() []uint64 { return p.keyCache() }
+
+// Key returns the key columns of row i, appending to dst.
 func (p *Page) Key(dst []uint64, i int) []uint64 {
-	for c := 0; c < p.schema.KeyCols; c++ {
-		dst = append(dst, p.col(i, c))
-	}
-	return dst
+	k := p.schema.KeyCols
+	keys := p.keyCache()
+	return append(dst, keys[i*k:(i+1)*k]...)
 }
 
 // Fact decodes row i fully.
@@ -231,27 +267,53 @@ func (p *Page) Fact(i int) tuple.Fact {
 	return f
 }
 
-// All decodes every fact in the page.
+// All decodes every fact in the page. Patch merges and scans decode whole
+// pages at a time, so rows are decoded column-major: constant columns
+// (zero row bits — the common case for class and length fields) are filled
+// without touching the bit stream, and the rest walk it at a fixed stride.
+// The facts' Cols share one backing array; callers must not mutate them
+// (pyramid clones any fact it retains or returns).
 func (p *Page) All() []tuple.Fact {
-	out := make([]tuple.Fact, p.rowCount)
-	if p.schema.HasBlob {
-		// Single pass so blob offsets are O(n) total.
-		lenCol := p.schema.Cols + 1
-		var start uint64
-		for i := 0; i < p.rowCount; i++ {
-			f := tuple.Fact{Seq: p.Seq(i), Cols: make([]uint64, p.schema.Cols)}
-			for c := 0; c < p.schema.Cols; c++ {
-				f.Cols[c] = p.col(i, c)
+	n := p.rowCount
+	cols := p.schema.Cols
+	out := make([]tuple.Fact, n)
+	backing := make([]uint64, n*cols)
+	stride := uint64(p.rowBits)
+	colVal := func(c int, set func(i int, v uint64)) {
+		d := p.dicts[c]
+		ib, w := d.indexBits(), d.width
+		if ib == 0 && w == 0 {
+			v := d.bases[0]
+			for i := 0; i < n; i++ {
+				set(i, v)
 			}
-			n := p.col(i, lenCol)
-			f.Blob = append([]byte(nil), p.raw[p.blobOff+int(start):p.blobOff+int(start+n)]...)
-			start += n
-			out[i] = f
+			return
 		}
-		return out
+		off := uint64(p.bitsOff)*8 + uint64(p.colShift[c])
+		for i := 0; i < n; i++ {
+			x := readBits(p.raw, off, ib)
+			o := readBits(p.raw, off+uint64(ib), w)
+			set(i, d.decode(int(x), o))
+			off += stride
+		}
 	}
-	for i := 0; i < p.rowCount; i++ {
-		out[i] = p.Fact(i)
+	for c := 0; c < cols; c++ {
+		c := c
+		colVal(c, func(i int, v uint64) { backing[i*cols+c] = v })
+	}
+	colVal(cols, func(i int, v uint64) { out[i].Seq = tuple.Seq(v) })
+	for i := range out {
+		out[i].Cols = backing[i*cols : (i+1)*cols : (i+1)*cols]
+	}
+	if p.schema.HasBlob {
+		lenCol := cols + 1
+		lens := make([]uint64, n)
+		colVal(lenCol, func(i int, v uint64) { lens[i] = v })
+		var start uint64
+		for i := 0; i < n; i++ {
+			out[i].Blob = append([]byte(nil), p.raw[p.blobOff+int(start):p.blobOff+int(start+lens[i])]...)
+			start += lens[i]
+		}
 	}
 	return out
 }
@@ -281,16 +343,22 @@ func (p *Page) ScanEqual(c int, v uint64) []int {
 // FirstGE returns the index of the first row whose key is ≥ key, assuming
 // rows are sorted by key ascending. Returns RowCount if all keys are less.
 func (p *Page) FirstGE(key []uint64) int {
-	lo, hi := 0, p.rowCount
-	var buf []uint64
-	for lo < hi {
-		mid := (lo + hi) / 2
-		buf = p.Key(buf[:0], mid)
-		if tuple.CompareKeys(buf, key, p.schema.KeyCols) < 0 {
-			lo = mid + 1
-		} else {
-			hi = mid
+	k := p.schema.KeyCols
+	keys := p.keyCache()
+	if k == 1 {
+		key0 := key[0]
+		lo, hi := 0, p.rowCount
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if keys[mid] < key0 {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
 		}
+		return lo
 	}
-	return lo
+	return sort.Search(p.rowCount, func(i int) bool {
+		return tuple.CompareKeys(keys[i*k:(i+1)*k], key, k) >= 0
+	})
 }

@@ -1,0 +1,125 @@
+// Package pipeline provides the bounded worker pool behind the engine's
+// parallel write path. The paper's performance argument (§3.2) is that
+// logical monotonicity — immutable, idempotent, commutative facts — leaves
+// almost nothing that needs cross-core synchronization: the pure-CPU stages
+// of a write (compression, dedup hashing, parity arithmetic) are functions
+// of their inputs alone and can run on any core at any time. Only sequence
+// allocation, placement bookkeeping and NVRAM ordering need the engine
+// lock.
+//
+// The pool is deliberately dumb: callers hand it independent closures whose
+// results land in caller-owned slots, so scheduling order can never change
+// an outcome. That property is what keeps the engine bit-for-bit
+// deterministic (DESIGN.md invariant 8) while still using every core.
+package pipeline
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Pool is a bounded set of worker goroutines executing submitted closures.
+// Submission never blocks behind a full pool: when every worker is busy the
+// submitting goroutine runs the task inline, which bounds both queue memory
+// and latency and degrades gracefully to serial execution under saturation.
+type Pool struct {
+	workers int
+	tasks   chan poolTask
+
+	closeOnce sync.Once
+	closed    chan struct{}
+}
+
+type poolTask struct {
+	fn   func()
+	done *sync.WaitGroup
+}
+
+// New starts a pool with the given number of workers. n <= 0 selects
+// GOMAXPROCS.
+func New(n int) *Pool {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{
+		workers: n,
+		tasks:   make(chan poolTask),
+		closed:  make(chan struct{}),
+	}
+	for i := 0; i < n; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *Pool) worker() {
+	for {
+		select {
+		case t := <-p.tasks:
+			t.fn()
+			t.done.Done()
+		case <-p.closed:
+			return
+		}
+	}
+}
+
+// Workers returns the pool's worker count.
+func (p *Pool) Workers() int {
+	if p == nil {
+		return 1
+	}
+	return p.workers
+}
+
+// Run executes every task and returns when all have finished. Tasks must be
+// independent: they may not submit to the pool themselves (the inline
+// fallback makes that safe from deadlock, but it defeats the bound) and
+// must write results only to caller-owned memory. A nil pool, or a single
+// task, runs inline — callers never need a special serial path.
+func (p *Pool) Run(tasks ...func()) {
+	if p == nil || len(tasks) <= 1 {
+		for _, t := range tasks {
+			t()
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	// The last task always runs on the submitting goroutine: it would
+	// otherwise sit idle in wg.Wait while a worker does the work.
+	for _, t := range tasks[:len(tasks)-1] {
+		wg.Add(1)
+		select {
+		case p.tasks <- poolTask{fn: t, done: &wg}:
+		default:
+			// Pool saturated: run inline rather than queue.
+			t()
+			wg.Done()
+		}
+	}
+	tasks[len(tasks)-1]()
+	wg.Wait()
+}
+
+// Close stops the workers. Tasks in flight finish; Run must not be called
+// concurrently with or after Close.
+func (p *Pool) Close() {
+	if p == nil {
+		return
+	}
+	p.closeOnce.Do(func() { close(p.closed) })
+}
+
+var (
+	sharedOnce sync.Once
+	shared     *Pool
+)
+
+// Shared returns the process-wide pool, created on first use with
+// GOMAXPROCS workers. Engine instances share it: the work is pure CPU, so
+// one pool sized to the machine is right no matter how many arrays exist
+// (tests create hundreds), and nothing ever needs tearing down.
+func Shared() *Pool {
+	sharedOnce.Do(func() { shared = New(0) })
+	return shared
+}

@@ -1,0 +1,96 @@
+package pipeline
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunExecutesAllTasks(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	const n = 1000
+	var count atomic.Int64
+	tasks := make([]func(), n)
+	for i := range tasks {
+		tasks[i] = func() { count.Add(1) }
+	}
+	p.Run(tasks...)
+	if got := count.Load(); got != n {
+		t.Fatalf("ran %d of %d tasks", got, n)
+	}
+}
+
+func TestRunResultsAreDeterministic(t *testing.T) {
+	// Tasks writing to disjoint slots must produce identical results no
+	// matter how the pool schedules them.
+	p := New(3)
+	defer p.Close()
+	for trial := 0; trial < 50; trial++ {
+		out := make([]int, 64)
+		tasks := make([]func(), len(out))
+		for i := range tasks {
+			i := i
+			tasks[i] = func() { out[i] = i * i }
+		}
+		p.Run(tasks...)
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("trial %d: slot %d = %d", trial, i, v)
+			}
+		}
+	}
+}
+
+func TestNilPoolRunsInline(t *testing.T) {
+	var p *Pool
+	ran := false
+	p.Run(func() { ran = true })
+	if !ran {
+		t.Fatal("nil pool did not run task")
+	}
+	if p.Workers() != 1 {
+		t.Fatalf("nil pool workers = %d", p.Workers())
+	}
+}
+
+func TestSaturatedPoolFallsBackInline(t *testing.T) {
+	// A 1-worker pool given many tasks must still finish them all (the
+	// submitter runs overflow inline instead of blocking).
+	p := New(1)
+	defer p.Close()
+	var count atomic.Int64
+	tasks := make([]func(), 100)
+	for i := range tasks {
+		tasks[i] = func() { count.Add(1) }
+	}
+	p.Run(tasks...)
+	if got := count.Load(); got != 100 {
+		t.Fatalf("ran %d of 100 tasks", got)
+	}
+}
+
+func TestSharedSingleton(t *testing.T) {
+	if Shared() != Shared() {
+		t.Fatal("Shared returned distinct pools")
+	}
+	if Shared().Workers() < 1 {
+		t.Fatal("shared pool has no workers")
+	}
+}
+
+func BenchmarkRunFanout(b *testing.B) {
+	p := New(0)
+	defer p.Close()
+	work := func() {
+		s := 0
+		for i := 0; i < 1000; i++ {
+			s += i
+		}
+		_ = s
+	}
+	tasks := []func(){work, work, work, work, work, work, work, work}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Run(tasks...)
+	}
+}

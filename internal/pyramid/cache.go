@@ -15,6 +15,11 @@ type pageCache struct {
 	cap   int
 	items map[Ref]*list.Element
 	order *list.List // front = hottest
+
+	// last is the element returned by the most recent hit. Dedup probing
+	// opens the same hot page many times in a row; checking it first skips
+	// the map's struct-key hash on those repeats without altering LRU order.
+	last *list.Element
 }
 
 type cacheEntry struct {
@@ -33,11 +38,18 @@ func newPageCache(capacity int) *pageCache {
 func (c *pageCache) get(ref Ref) (*pagecodec.Page, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if el := c.last; el != nil {
+		if ent := el.Value.(*cacheEntry); ent.ref == ref {
+			c.order.MoveToFront(el)
+			return ent.page, true
+		}
+	}
 	el, ok := c.items[ref]
 	if !ok {
 		return nil, false
 	}
 	c.order.MoveToFront(el)
+	c.last = el
 	return el.Value.(*cacheEntry).page, true
 }
 
@@ -47,14 +59,19 @@ func (c *pageCache) put(ref Ref, page *pagecodec.Page) {
 	if el, ok := c.items[ref]; ok {
 		c.order.MoveToFront(el)
 		el.Value.(*cacheEntry).page = page
+		c.last = el
 		return
 	}
 	el := c.order.PushFront(&cacheEntry{ref: ref, page: page})
 	c.items[ref] = el
+	c.last = el
 	for c.order.Len() > c.cap {
-		last := c.order.Back()
-		c.order.Remove(last)
-		delete(c.items, last.Value.(*cacheEntry).ref)
+		back := c.order.Back()
+		if back == c.last {
+			c.last = nil
+		}
+		c.order.Remove(back)
+		delete(c.items, back.Value.(*cacheEntry).ref)
 	}
 }
 

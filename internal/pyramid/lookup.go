@@ -12,26 +12,107 @@ func seqOf(v uint64) tuple.Seq { return tuple.Seq(v) }
 // Get returns the newest non-elided fact with exactly this key. Patches
 // hold disjoint, ordered sequence ranges, so the first source (memtable,
 // then patches newest-first) containing the key holds its newest version.
+// memSuffixMax bounds how many unsorted memtable facts Get will scan
+// linearly before forcing a (incremental) re-sort. Point lookups — the
+// dedup index is probed once per 512 B block of every write — would
+// otherwise pay a full memtable merge after every insert batch.
+const memSuffixMax = 64
+
 func (p *Pyramid) Get(at sim.Time, key []uint64) (tuple.Fact, bool, sim.Time, error) {
 	k := p.cfg.Schema.KeyCols
 	done := at
 
 	p.mu.Lock()
-	p.sortMemLocked()
+	if len(p.mem)-p.sortedLen > memSuffixMax {
+		p.sortMemLocked()
+	}
 	mem := p.mem
-	patches := append([]*Patch(nil), p.patches...)
+	sortedLen := p.sortedLen
+	// The patch list is copy-on-write (installPatchLocked builds a fresh
+	// slice), so the header snapshot needs no copy.
+	patches := p.patches
 	p.mu.Unlock()
 
-	// Memtable: first match in (key asc, seq desc) order is the newest.
-	i := sort.Search(len(mem), func(i int) bool {
-		return tuple.CompareKeys(mem[i].Cols, key, k) >= 0
-	})
-	for ; i < len(mem) && tuple.CompareKeys(mem[i].Cols, key, k) == 0; i++ {
-		if !p.elided(mem[i]) {
-			return mem[i].Clone(), true, done, nil
+	// Memtable: the sorted prefix is binary-searched; facts inserted since
+	// the last sort (a bounded suffix) are scanned linearly. The two match
+	// streams are merged in (seq desc, insertion asc) order — exactly the
+	// order a full stable sort would produce — and the first non-elided
+	// match is the newest version.
+	prefix := mem[:sortedLen]
+	var i int
+	if k == 1 {
+		// Single-column keys (the dedup index) take a hand-rolled search:
+		// no closure, no generic key compare.
+		key0 := key[0]
+		lo, hi := 0, len(prefix)
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if prefix[mid].Cols[0] < key0 {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		i = lo
+	} else {
+		i = sort.Search(len(prefix), func(i int) bool {
+			return tuple.CompareKeys(prefix[i].Cols, key, k) >= 0
+		})
+	}
+	var sm []tuple.Fact // suffix matches, insertion order
+	if k == 1 {
+		key0 := key[0]
+		for _, f := range mem[sortedLen:] {
+			if f.Cols[0] == key0 {
+				sm = append(sm, f)
+			}
+		}
+	} else {
+		for _, f := range mem[sortedLen:] {
+			if tuple.CompareKeys(f.Cols, key, k) == 0 {
+				sm = append(sm, f)
+			}
+		}
+	}
+	if len(sm) > 1 {
+		sort.SliceStable(sm, func(a, b int) bool { return sm[a].Seq > sm[b].Seq })
+	}
+	si := 0
+	for {
+		havePre := i < len(prefix) && tuple.CompareKeys(prefix[i].Cols, key, k) == 0
+		haveSuf := si < len(sm)
+		if !havePre && !haveSuf {
+			break
+		}
+		// Ties take the prefix fact: it was inserted earlier, matching the
+		// stable-sort order.
+		if havePre && (!haveSuf || prefix[i].Seq >= sm[si].Seq) {
+			if !p.elided(prefix[i]) {
+				return prefix[i].Clone(), true, done, nil
+			}
+			i++
+		} else {
+			if !p.elided(sm[si]) {
+				return sm[si].Clone(), true, done, nil
+			}
+			si++
 		}
 	}
 
+	if k == 1 {
+		key0 := key[0]
+		for _, patch := range patches {
+			f, found, d, err := p.getFromPatch1(done, patch, key0)
+			done = d
+			if err != nil {
+				return tuple.Fact{}, false, done, err
+			}
+			if found {
+				return f, true, done, nil
+			}
+		}
+		return tuple.Fact{}, false, done, nil
+	}
 	for _, patch := range patches {
 		f, found, d, err := p.getFromPatch(done, patch, key)
 		done = d
@@ -45,15 +126,79 @@ func (p *Pyramid) Get(at sim.Time, key []uint64) (tuple.Fact, bool, sim.Time, er
 	return tuple.Fact{}, false, done, nil
 }
 
+// getFromPatch1 is getFromPatch specialized for single-column keys — the
+// dedup index's shape, probed once per 512 B block of every write. Same
+// result, same page-open sequence (so identical simulated time), but
+// straight uint64 compares against the page's decoded key cache.
+func (p *Pyramid) getFromPatch1(at sim.Time, patch *Patch, key0 uint64) (tuple.Fact, bool, sim.Time, error) {
+	done := at
+	pages := patch.Pages
+	lo, hi := 0, len(pages)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if pages[mid].KeyMin[0] <= key0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	for pi := lo - 1; pi >= 0 && pi < len(pages); pi++ {
+		if pages[pi].KeyMin[0] > key0 {
+			break
+		}
+		pg, d, err := p.openPage(done, pages[pi].Ref)
+		done = d
+		if err != nil {
+			return tuple.Fact{}, false, done, err
+		}
+		keys := pg.Keys()
+		rlo, rhi := 0, len(keys)
+		for rlo < rhi {
+			mid := int(uint(rlo+rhi) >> 1)
+			if keys[mid] < key0 {
+				rlo = mid + 1
+			} else {
+				rhi = mid
+			}
+		}
+		for ; rlo < len(keys); rlo++ {
+			if keys[rlo] != key0 {
+				return tuple.Fact{}, false, done, nil
+			}
+			f := pg.Fact(rlo)
+			if !p.elided(f) {
+				return f, true, done, nil
+			}
+		}
+		// Key versions may continue on the next page.
+	}
+	return tuple.Fact{}, false, done, nil
+}
+
 // getFromPatch searches one patch for the newest non-elided version of key.
 func (p *Pyramid) getFromPatch(at sim.Time, patch *Patch, key []uint64) (tuple.Fact, bool, sim.Time, error) {
 	k := p.cfg.Schema.KeyCols
 	done := at
 	// Last page whose KeyMin ≤ key; versions of a key may spill into
 	// following pages whose KeyMin equals the key.
-	pi := sort.Search(len(patch.Pages), func(i int) bool {
-		return tuple.CompareKeys(patch.Pages[i].KeyMin, key, k) > 0
-	}) - 1
+	var pi int
+	if k == 1 {
+		key0 := key[0]
+		lo, hi := 0, len(patch.Pages)
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if patch.Pages[mid].KeyMin[0] <= key0 {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		pi = lo - 1
+	} else {
+		pi = sort.Search(len(patch.Pages), func(i int) bool {
+			return tuple.CompareKeys(patch.Pages[i].KeyMin, key, k) > 0
+		}) - 1
+	}
 	if pi < 0 {
 		return tuple.Fact{}, false, done, nil
 	}

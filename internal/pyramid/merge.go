@@ -54,7 +54,7 @@ func (p *Pyramid) mergePatches(at sim.Time, a, b *Patch) (*Patch, sim.Time, erro
 		return nil, done, err
 	}
 
-	var out []tuple.Fact
+	out := make([]tuple.Fact, 0, a.Rows+b.Rows)
 	var lastKey []uint64
 	var keptNewer []tuple.Fact // kept versions of the current key, newest first
 	haveKey := false

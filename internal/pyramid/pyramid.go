@@ -66,7 +66,9 @@ type Pyramid struct {
 	mu             sync.RWMutex
 	mem            []tuple.Fact // unsorted recent facts (durable in NVRAM)
 	memSorted      bool
-	patches        []*Patch // sorted by SeqHi descending (newest first)
+	sortedLen      int          // prefix of mem already in stable-sorted order
+	memScratch     []tuple.Fact // reused merge buffer for incremental sorts
+	patches        []*Patch     // sorted by SeqHi descending (newest first)
 	flushedThrough tuple.Seq
 
 	cache *pageCache
@@ -136,14 +138,53 @@ func (p *Pyramid) Patches() []*Patch {
 	return append([]*Patch(nil), p.patches...)
 }
 
-// sortMemLocked sorts the memtable (key asc, seq desc) if needed.
+// sortMemLocked sorts the memtable (key asc, seq desc) if needed. The
+// result is exactly sort.SliceStable over the whole slice; since lookups
+// re-sort after every small Insert batch, the work is done incrementally —
+// only the appended suffix is sorted and then stably merged with the
+// already-sorted prefix (ties take the prefix element, which was inserted
+// earlier, preserving stable order).
 func (p *Pyramid) sortMemLocked() {
 	if p.memSorted {
 		return
 	}
 	k := p.cfg.Schema.KeyCols
-	sort.SliceStable(p.mem, func(i, j int) bool { return tuple.Less(p.mem[i], p.mem[j], k) })
+	if p.sortedLen > 0 && p.sortedLen < len(p.mem) {
+		suffix := p.mem[p.sortedLen:]
+		sort.SliceStable(suffix, func(i, j int) bool { return tuple.Less(suffix[i], suffix[j], k) })
+		p.mergeSortedMemLocked(k)
+	} else {
+		sort.SliceStable(p.mem, func(i, j int) bool { return tuple.Less(p.mem[i], p.mem[j], k) })
+	}
 	p.memSorted = true
+	p.sortedLen = len(p.mem)
+}
+
+// mergeSortedMemLocked merges mem's sorted prefix [0:sortedLen) with its
+// sorted suffix into the scratch buffer, then swaps buffers so the old
+// backing array is reused next time. Caller holds mu.
+func (p *Pyramid) mergeSortedMemLocked(k int) {
+	prefix := p.mem[:p.sortedLen]
+	suffix := p.mem[p.sortedLen:]
+	if cap(p.memScratch) < len(p.mem) {
+		p.memScratch = make([]tuple.Fact, 0, len(p.mem)*2)
+	}
+	out := p.memScratch[:0]
+	i, j := 0, 0
+	for i < len(prefix) && j < len(suffix) {
+		if tuple.Less(suffix[j], prefix[i], k) {
+			out = append(out, suffix[j])
+			j++
+		} else {
+			out = append(out, prefix[i])
+			i++
+		}
+	}
+	out = append(out, prefix[i:]...)
+	out = append(out, suffix[j:]...)
+	old := p.mem
+	p.mem = out
+	p.memScratch = old[:0]
 }
 
 // Flush writes every memtable fact with Seq ≤ persistedThrough into a new
@@ -180,6 +221,7 @@ func (p *Pyramid) Flush(at sim.Time, persistedThrough tuple.Seq) (sim.Time, erro
 		// dropping them from the memtable is the whole job.
 		p.mem = retained
 		p.memSorted = false
+		p.sortedLen = 0
 		p.mu.Unlock()
 		return at, nil
 	}
@@ -193,6 +235,7 @@ func (p *Pyramid) Flush(at sim.Time, persistedThrough tuple.Seq) (sim.Time, erro
 	p.mu.Lock()
 	p.mem = retained
 	p.memSorted = false
+	p.sortedLen = 0
 	p.installPatchLocked(patch)
 	if seqHi > p.flushedThrough {
 		p.flushedThrough = seqHi

@@ -4,12 +4,17 @@
 // Role) to get the active-active behaviour: clients may connect to either
 // port; the secondary forwards to the primary at an interconnect-latency
 // cost.
+//
+// Each accepted connection is served by its own goroutine and dispatches
+// straight into the engine with no server-side serialization: the engine's
+// write path runs compression and dedup hashing before taking its lock
+// (core.Array.WriteAtConcurrent), so N connections use N cores for the
+// CPU-heavy stages and only the commit section is serial.
 package server
 
 import (
 	"fmt"
 	"net"
-	"sync"
 	"time"
 
 	"purity/internal/controller"
@@ -23,8 +28,7 @@ type Server struct {
 	pair *controller.Pair
 	via  controller.Role
 
-	mu    sync.Mutex // serializes engine dispatch across connections
-	epoch time.Time  // wall-clock origin for the simulated timeline
+	epoch time.Time // wall-clock origin for the simulated timeline
 }
 
 // New returns a server for the given controller of a pair.
@@ -67,10 +71,10 @@ func (s *Server) handle(conn net.Conn) {
 	}
 }
 
-// dispatch runs one request against the engine.
+// dispatch runs one request against the engine. Called concurrently from
+// every connection goroutine; the Pair and the engine synchronize
+// internally.
 func (s *Server) dispatch(op byte, payload []byte) ([]byte, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	at := s.now()
 	a := s.pair.Array()
 	if a == nil {

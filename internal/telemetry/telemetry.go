@@ -9,9 +9,27 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"purity/internal/sim"
 )
+
+// Counter is a lock-free event counter for paths too hot (or too error-ish)
+// for a histogram — e.g. segment-read or cblock-unpack failures, which used
+// to be debug prints. Safe for concurrent use.
+type Counter struct{ v atomic.Int64 }
+
+// NewCounter returns a zeroed counter.
+func NewCounter() *Counter { return &Counter{} }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Load returns the current count.
+func (c *Counter) Load() int64 { return c.v.Load() }
 
 // Histogram records durations in logarithmic buckets (about 24 buckets per
 // decade) for cheap, accurate-enough percentiles. Safe for concurrent use.

@@ -34,6 +34,13 @@ import (
 // client issuing one request at a time; Elapsed reports total simulated
 // time. For open-loop or multi-client timing experiments, use Core and
 // drive times explicitly.
+//
+// Array and Volume handles are safe for parallel callers: the clock mutex
+// covers only the timestamp bookkeeping, and the engine work — including a
+// write's compression and hashing, which run before the engine lock — is
+// done outside it. Concurrent operations start from the same clock
+// snapshot (they are concurrent on the simulated timeline too) and the
+// clock advances to the latest completion.
 type Array struct {
 	mu   sync.Mutex
 	core *core.Array
@@ -107,14 +114,20 @@ func (a *Array) Elapsed() sim.Time {
 // Stats returns engine counters and latency histograms.
 func (a *Array) Stats() core.StatsSnapshot { return a.core.Stats() }
 
-// step runs op at the current virtual time and advances the clock.
+// step runs op at the current virtual time and advances the clock. The
+// clock lock is NOT held across op: the engine synchronizes internally, so
+// parallel steps overlap on real CPUs (and, deliberately, on the simulated
+// timeline). A single sequential caller sees exactly the old behavior.
 func (a *Array) step(op func(at sim.Time) (sim.Time, error)) error {
 	a.mu.Lock()
-	defer a.mu.Unlock()
-	done, err := op(a.now)
+	at := a.now
+	a.mu.Unlock()
+	done, err := op(at)
+	a.mu.Lock()
 	if done > a.now {
 		a.now = done
 	}
+	a.mu.Unlock()
 	return err
 }
 

@@ -1,0 +1,25 @@
+#!/bin/sh
+# check.sh — the repo's one-command gate. Runs what CI would: vet, build,
+# the full test suite, and a short race pass over the packages that do real
+# concurrency (the parallel write pipeline, its core entry points, and the
+# TCP server's per-connection goroutines).
+#
+# Usage: scripts/check.sh            from the repo root
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go vet"
+go vet ./...
+
+echo "== go build"
+go build ./...
+
+echo "== go test"
+go test ./...
+
+echo "== go test -race (concurrency-bearing packages)"
+go test -race -short ./internal/pipeline/ ./internal/server/ ./internal/dedup/
+go test -race -short -run 'TestConcurrentWriters' ./internal/core/
+
+echo "ok: all checks passed"
