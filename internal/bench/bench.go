@@ -54,6 +54,7 @@ func Experiments() []Experiment {
 		{"E8", "§5.1: write amplification, wear and scrub", runE8},
 		{"E9", "§2.3: one array vs disk-based key-value nodes", runE9},
 		{"A1", "Ablations: sampling, compression, stagger, RS geometry", runA1},
+		{"CS", "§4.3: crash-consistency sweep over every fault point", runCS},
 	}
 }
 

@@ -1,0 +1,58 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+
+	"purity/internal/core"
+)
+
+// runCS is the opt-in crash-consistency sweep: the exhaustive counterpart
+// to the capped tier-1 TestCrashSweep. It censuses the deterministic
+// mixed workload, then for every named crash point simulates a hard crash
+// at each pass of that point (full run) or a bounded sample (-quick),
+// recovers from the shared shelf — twice — and verifies the array against
+// a flat model plus structural invariants. Any failure prints the seed,
+// point and hit count for a one-command reproduction under
+// TestCrashSweep.
+func runCS(o Options) error {
+	opts := core.SweepOptions{
+		Seed:            o.Seed,
+		MaxHitsPerPoint: 0, // exhaustive: every (point, hit) pair
+		FullScanCheck:   !o.Quick,
+		Log: func(format string, args ...any) {
+			fmt.Fprintf(o.Out, format+"\n", args...)
+		},
+	}
+	if o.Quick {
+		opts.MaxHitsPerPoint = 4
+	}
+
+	rep, err := core.RunCrashSweep(opts)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(o.Out, "\nseed %d: %d crash points, %d (point,hit) cases\n",
+		rep.Seed, rep.Points, rep.Cases)
+	points := make([]string, 0, len(rep.Census))
+	for p := range rep.Census {
+		points = append(points, p)
+	}
+	sort.Strings(points)
+	fmt.Fprintf(o.Out, "%-28s %s\n", "point", "hits/run")
+	for _, p := range points {
+		fmt.Fprintf(o.Out, "%-28s %d\n", p, rep.Census[p])
+	}
+
+	if len(rep.Failures) > 0 {
+		fmt.Fprintf(o.Out, "\n%d FAILURES:\n", len(rep.Failures))
+		for _, f := range rep.Failures {
+			fmt.Fprintf(o.Out, "  %s hit=%d: %s\n", f.Point, f.Hit, f.Err)
+			fmt.Fprintf(o.Out, "    repro: go test -run 'TestCrashSweep/%s/hit=%d' ./internal/core/\n", f.Point, f.Hit)
+		}
+		return fmt.Errorf("crash sweep: %d of %d cases failed", len(rep.Failures), rep.Cases)
+	}
+	fmt.Fprintf(o.Out, "\nall %d cases recovered to model equivalence\n", rep.Cases)
+	return nil
+}

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync"
 
+	"purity/internal/crashpoint"
 	"purity/internal/dedup"
 	"purity/internal/elide"
 	"purity/internal/erasure"
@@ -77,6 +78,9 @@ type Array struct {
 	opsSinceBG   int
 	bgSinceCkpt  int
 
+	// crash is the (possibly nil) fault-point registry from Config.Crash.
+	crash *crashpoint.Registry
+
 	stats Stats
 
 	readTracker *iosched.Tracker
@@ -103,12 +107,15 @@ type Stats struct {
 	Flattened           int64
 	HedgedReads         int64
 	SpeculativePromotes int64
-	// SegReadErrors / UnpackErrors count segment-read and cblock-unpack
-	// failures (formerly ad-hoc debug prints). Both conditions are survived
-	// — reads reconstruct, dedup candidates are skipped — but a nonzero
-	// rate is the first sign of a placement or liveness bug.
-	SegReadErrors *telemetry.Counter
-	UnpackErrors  *telemetry.Counter
+	// SegReadErrors / UnpackErrors / ExtentReadErrors count segment-read,
+	// cblock-unpack, and extent-read failures (formerly ad-hoc debug
+	// prints). The first two are survived — reads reconstruct, dedup
+	// candidates are skipped — but a nonzero rate is the first sign of a
+	// placement or liveness bug; an extent-read failure propagates to the
+	// client with structured detail.
+	SegReadErrors    *telemetry.Counter
+	UnpackErrors     *telemetry.Counter
+	ExtentReadErrors *telemetry.Counter
 }
 
 func newStats() Stats {
@@ -116,8 +123,9 @@ func newStats() Stats {
 		WriteLatency:  telemetry.NewHistogram(),
 		ReadLatency:   telemetry.NewHistogram(),
 		Reduction:     &telemetry.Reduction{},
-		SegReadErrors: telemetry.NewCounter(),
-		UnpackErrors:  telemetry.NewCounter(),
+		SegReadErrors:    telemetry.NewCounter(),
+		UnpackErrors:     telemetry.NewCounter(),
+		ExtentReadErrors: telemetry.NewCounter(),
 	}
 }
 
@@ -191,7 +199,9 @@ func newSkeleton(cfg Config, sh *shelf.Shelf) (*Array, error) {
 		stats:       newStats(),
 		readTracker: iosched.NewTracker(1024),
 		cpus:        make([]sim.Time, cfg.CPUCores),
+		crash:       cfg.Crash,
 	}
+	a.boot.SetCrash(cfg.Crash)
 	for _, id := range []uint32{
 		relation.IDMediums, relation.IDAddrs, relation.IDDedup,
 		relation.IDSegments, relation.IDSegmentAUs, relation.IDVolumes, relation.IDElide,
@@ -203,6 +213,7 @@ func newSkeleton(cfg Config, sh *shelf.Shelf) (*Array, error) {
 			ID:     id,
 			Name:   fmt.Sprintf("rel%d", id),
 			Schema: schema,
+			Crash:  a.crash,
 		}
 		switch id {
 		case relation.IDAddrs:
@@ -306,6 +317,7 @@ func (a *Array) ensureOpenLocked(at sim.Time, class segClass) (*layout.Writer, s
 		return nil, done, err
 	}
 	w.SetParallel(a.pool.Run)
+	w.SetCrash(a.crash)
 	a.open[class] = w
 	a.segMap[id] = w.Info()
 
@@ -315,7 +327,9 @@ func (a *Array) ensureOpenLocked(at sim.Time, class segClass) (*layout.Writer, s
 		State:      relation.SegmentOpen,
 		TotalBytes: uint64(a.cfg.Layout.SegmentLogicalSize()),
 	}.Fact(a.seqs.Next())}
-	a.pyr[relation.IDSegments].Insert(facts)
+	if err := a.pyr[relation.IDSegments].Insert(facts); err != nil {
+		return nil, done, err
+	}
 	var auFacts []tuple.Fact
 	for shard, au := range aus {
 		auFacts = append(auFacts, relation.SegmentAURow{
@@ -323,7 +337,9 @@ func (a *Array) ensureOpenLocked(at sim.Time, class segClass) (*layout.Writer, s
 			Drive: uint64(au.Drive), AUIndex: uint64(au.Index),
 		}.Fact(a.seqs.Next()))
 	}
-	a.pyr[relation.IDSegmentAUs].Insert(auFacts)
+	if err := a.pyr[relation.IDSegmentAUs].Insert(auFacts); err != nil {
+		return nil, done, err
+	}
 	return w, done, nil
 }
 
@@ -339,13 +355,15 @@ func (a *Array) sealLocked(at sim.Time, class segClass) (sim.Time, error) {
 	}
 	a.open[class] = nil
 	a.segMap[info.ID] = info
-	a.pyr[relation.IDSegments].Insert([]tuple.Fact{relation.SegmentRow{
+	if err := a.pyr[relation.IDSegments].Insert([]tuple.Fact{relation.SegmentRow{
 		Segment:    uint64(info.ID),
 		State:      relation.SegmentSealed,
 		Stripes:    uint64(info.Stripes),
 		TotalBytes: uint64(a.cfg.Layout.SegmentLogicalSize()),
 		LiveBytes:  uint64(a.liveBytes[info.ID]),
-	}.Fact(a.seqs.Next())})
+	}.Fact(a.seqs.Next())}); err != nil {
+		return done, err
+	}
 	return done, nil
 }
 

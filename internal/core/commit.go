@@ -123,6 +123,8 @@ func (a *Array) nvramAppendLocked(at sim.Time, rec []byte) (sim.Time, error) {
 
 func (a *Array) nvramAppendOnce(at sim.Time, rec []byte) (sim.Time, error) {
 	done := at
+	// A crash here loses the record entirely: the op was never acked.
+	a.crash.Hit("nvram.append.before")
 	for i := 0; i < a.shelf.NumNVRAM(); i++ {
 		_, d, err := a.shelf.NVRAM(i).Append(at, rec)
 		if err != nil {
@@ -131,7 +133,17 @@ func (a *Array) nvramAppendOnce(at sim.Time, rec []byte) (sim.Time, error) {
 		if d > done {
 			done = d
 		}
+		// A crash here leaves the record on a prefix of the mirrors; replay
+		// reads device 0, which always has it.
+		a.crash.Hit("nvram.append.mirror")
 	}
+	// The torn/corrupt points fire with the record fully appended; the sweep
+	// harness recognizes them by name and applies Device.TornTail /
+	// CorruptTail to every NVRAM device before reopening, so replay sees the
+	// record's bytes damaged rather than absent.
+	a.crash.Hit("nvram.append.torn")
+	a.crash.Hit("nvram.append.corrupt")
+	a.crash.Hit("nvram.append.after")
 	return done, nil
 }
 
@@ -145,21 +157,27 @@ func (a *Array) commitFactsLocked(at sim.Time, relID uint32, facts []tuple.Fact)
 	if err != nil {
 		return done, err
 	}
-	a.applyFactsLocked(relID, facts)
+	if err := a.applyFactsLocked(relID, facts); err != nil {
+		return done, err
+	}
 	a.persistedSeq = a.seqs.Current()
 	return done, nil
 }
 
 // applyFactsLocked inserts facts into a pyramid, materializing elide
 // predicates into their in-memory tables as a side effect. Used by both
-// the commit path and NVRAM replay.
-func (a *Array) applyFactsLocked(relID uint32, facts []tuple.Fact) {
-	a.pyr[relID].Insert(facts)
+// the commit path and NVRAM replay; replay treats a SchemaError as a
+// malformed record and rejects it rather than aborting recovery.
+func (a *Array) applyFactsLocked(relID uint32, facts []tuple.Fact) error {
+	if err := a.pyr[relID].Insert(facts); err != nil {
+		return err
+	}
 	if relID == relation.IDElide {
 		for _, f := range facts {
 			a.applyElideFact(f)
 		}
 	}
+	return nil
 }
 
 // maybeBackgroundLocked runs periodic maintenance: pyramid flushes once
@@ -199,11 +217,13 @@ func (a *Array) maybeBackgroundLocked(at sim.Time) (sim.Time, error) {
 // segios flush, pyramids flush and merge, the boot record is rewritten, and
 // the whole NVRAM log is released (Figure 4's "trims the DRAM and NVRAM").
 func (a *Array) checkpointLocked(at sim.Time) (sim.Time, error) {
+	a.crash.Hit("ckpt.begin")
 	// 1. Data durability: flush open segios of data-bearing classes.
 	done, err := a.flushOpenSegiosLocked(at)
 	if err != nil {
 		return done, err
 	}
+	a.crash.Hit("ckpt.data-flushed")
 	// 2. Index durability: flush every pyramid through the watermark, then
 	// merge toward the patch target.
 	for _, id := range a.relationIDs() {
@@ -222,12 +242,16 @@ func (a *Array) checkpointLocked(at sim.Time) (sim.Time, error) {
 	if done, err = a.flushOpenSegiosLocked(done); err != nil {
 		return done, err
 	}
+	a.crash.Hit("ckpt.meta-flushed")
 	// 4. Boot record.
 	d, err := a.writeCheckpoint(done, false)
 	if err != nil {
 		return d, err
 	}
 	done = d
+	// A crash here has the new checkpoint durable but NVRAM untrimmed;
+	// replaying the whole log against it must be harmless (set union).
+	a.crash.Hit("ckpt.boot-written")
 	// 5. Everything referenced by the checkpoint is durable: release NVRAM.
 	for i := 0; i < a.shelf.NumNVRAM(); i++ {
 		nv := a.shelf.NVRAM(i)
@@ -235,6 +259,7 @@ func (a *Array) checkpointLocked(at sim.Time) (sim.Time, error) {
 			return done, err
 		}
 	}
+	a.crash.Hit("ckpt.released")
 	a.stats.Checkpoints++
 	return done, nil
 }
@@ -268,6 +293,9 @@ func (a *Array) writeFrontierLocked(at sim.Time) (sim.Time, error) {
 	if err != nil {
 		return done, err
 	}
+	// A crash here loses the refilled frontier: the allocator never handed
+	// out its AUs, so the stale persisted frontier still bounds the scan.
+	a.crash.Hit("frontier.write.flushed")
 	if done, err = a.writeCheckpoint(done, false); err != nil {
 		return done, err
 	}

@@ -9,6 +9,7 @@
 package core
 
 import (
+	"purity/internal/crashpoint"
 	"purity/internal/iosched"
 	"purity/internal/layout"
 	"purity/internal/shelf"
@@ -49,6 +50,12 @@ type Config struct {
 
 	// CBlockCacheEntries bounds the decompressed-cblock DRAM cache.
 	CBlockCacheEntries int
+
+	// Crash, when set, is a fault-point registry threaded through every
+	// durability-critical path (NVRAM appends, segio flushes, seals,
+	// pyramid persists, checkpoints, GC retirement, recovery). Nil — the
+	// production default — makes every point a no-op.
+	Crash *crashpoint.Registry
 
 	// CPU model: the paper stresses that all-flash arrays are CPU-bound,
 	// not I/O bound (§4). Every client op occupies one of CPUCores event

@@ -248,6 +248,9 @@ func dedupUint64(v []uint64) []uint64 {
 // frees its AUs. Caller holds mu.
 func (a *Array) evacuateSegmentLocked(at sim.Time, id layout.SegmentID, blocks map[uint64]*cblockRefs, rep *GCReport) (sim.Time, error) {
 	done := at
+	// A crash before anything moves leaves the victim segment untouched
+	// and fully authoritative.
+	a.crash.Hit("gc.evac.begin")
 	var newFacts []tuple.Fact
 
 	// Stable move order keeps runs deterministic.
@@ -283,6 +286,10 @@ func (a *Array) evacuateSegmentLocked(at sim.Time, id layout.SegmentID, blocks m
 			return done, err
 		}
 		touched[class] = true
+		// Copies exist in unsealed destinations but no facts reference
+		// them yet: a crash here orphans the copies, and the old segment
+		// (never retired) still serves every read.
+		a.crash.Hit("gc.evac.moved")
 		a.liveBytes[newSeg] += int64(c.physLen)
 		rep.BytesMoved += int64(c.physLen)
 		rep.CBlocksMoved++
@@ -309,6 +316,7 @@ func (a *Array) evacuateSegmentLocked(at sim.Time, id layout.SegmentID, blocks m
 		}
 		done = d
 	}
+	a.crash.Hit("gc.evac.sealed")
 	for base := 0; base < len(newFacts); base += 512 {
 		end := base + 512
 		if end > len(newFacts) {
@@ -320,6 +328,10 @@ func (a *Array) evacuateSegmentLocked(at sim.Time, id layout.SegmentID, blocks m
 		}
 		done = d
 	}
+	// Every redirect fact is committed but the victim is not yet retired: a
+	// crash here leaves both copies live, and the higher-sequence redirects
+	// win every resolution.
+	a.crash.Hit("gc.evac.redirected")
 
 	// Retire the segment: dead fact, erase, free.
 	d, err := a.commitFactsLocked(done, relation.IDSegments, []tuple.Fact{relation.SegmentRow{
@@ -329,6 +341,9 @@ func (a *Array) evacuateSegmentLocked(at sim.Time, id layout.SegmentID, blocks m
 		return d, err
 	}
 	done = d
+	// The SegmentDead fact is durable: recovery must honor the retirement
+	// even though the victim's AU trailers are still intact on disk.
+	a.crash.Hit("gc.retire.dead")
 	info := a.segMap[id]
 	for _, au := range info.AUs {
 		drive := a.shelf.Drive(au.Drive)
@@ -339,6 +354,7 @@ func (a *Array) evacuateSegmentLocked(at sim.Time, id layout.SegmentID, blocks m
 			done = d
 		}
 	}
+	a.crash.Hit("gc.retire.erased")
 	a.alloc.Free(info.AUs)
 	delete(a.segMap, id)
 	delete(a.liveBytes, id)

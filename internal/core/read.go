@@ -11,9 +11,6 @@ import (
 	"purity/internal/tuple"
 )
 
-// debugReads prints diagnostic context for failing extent reads.
-var debugReads = false
-
 // lookupAdapter implements medium.Lookup over the metadata pyramids.
 type lookupAdapter Array
 
@@ -165,13 +162,9 @@ func (a *Array) ReadAt(at sim.Time, vol VolumeID, off int64, n int) ([]byte, sim
 func (a *Array) readExtentLocked(at sim.Time, ext medium.Extent, dst []byte) (sim.Time, error) {
 	sectors, done, err := a.readCBlockLocked(at, ext.Addr.Segment, ext.Addr.SegOff, int(ext.Addr.PhysLen))
 	if err != nil {
-		if debugReads {
-			info, ok := a.segInfoLocked(layout.SegmentID(ext.Addr.Segment))
-			fmt.Printf("DEBUG read fail ext=%+v segInfo=%+v ok=%v\n", ext, info, ok)
-			raw, _, _ := a.readSegmentLocked(at, layout.SegmentID(ext.Addr.Segment), int64(ext.Addr.SegOff), 16)
-			fmt.Printf("DEBUG first bytes: %x\n", raw)
-		}
-		return done, err
+		a.stats.ExtentReadErrors.Inc()
+		return done, fmt.Errorf("core: extent read medium=%d sector=%d seg=%d off=%d len=%d depth=%d: %w",
+			ext.Addr.Medium, ext.Addr.Sector, ext.Addr.Segment, ext.Addr.SegOff, ext.Addr.PhysLen, ext.Depth, err)
 	}
 	lo := int(ext.Inner) * cblock.SectorSize
 	copy(dst, sectors[lo:lo+len(dst)])

@@ -24,9 +24,18 @@ type RecoveryStats struct {
 	StripesScanned     int
 	PatchesApplied     int
 	NVRAMRecords       int
+	RecordsRejected    int      // malformed NVRAM records skipped by replay
 	ScanTime           sim.Time // the AU/stripe scan alone
 	TotalTime          sim.Time
 }
+
+// errBadRecord marks an NVRAM record that replay rejects as malformed —
+// corrupt bytes that slipped past the CRC framing, an unknown record
+// kind, or facts that fail schema validation. Such records are counted
+// and skipped rather than aborting recovery: a damaged trailing record
+// was by definition never acknowledged. Real I/O errors do not wrap this
+// sentinel and still abort.
+var errBadRecord = errors.New("core: malformed NVRAM record")
 
 // Open recovers an array from an existing shelf using the frontier-bounded
 // scan (§4.3, Figure 5).
@@ -58,6 +67,7 @@ func OpenAt(cfg Config, sh *shelf.Shelf, at sim.Time, fullScan bool) (*Array, Re
 	a.nextVolume = ckpt.NextVolume
 	a.nextSegment = ckpt.NextSegment
 	a.seqs.AdvanceTo(ckpt.SeqWatermark)
+	a.crash.Hit("recover.ckpt-loaded")
 
 	// 2. Segment map and allocator state. Segments open at the crash will
 	// never be appended to again: mark them sealed in memory. Segments the
@@ -168,6 +178,7 @@ func OpenAt(cfg Config, sh *shelf.Shelf, at sim.Time, fullScan bool) (*Array, Re
 	}
 	a.alloc.SetFrontier(remaining)
 	rs.ScanTime = done - scanStart
+	a.crash.Hit("recover.scanned")
 
 	// 5. Materialize elide tables from the recovered elide relation.
 	a.persistedSeq = a.seqs.Current()
@@ -252,15 +263,24 @@ func OpenAt(cfg Config, sh *shelf.Shelf, at sim.Time, fullScan bool) (*Array, Re
 
 	// 7. NVRAM replay: every record since the last checkpoint. Facts are
 	// immutable, so replaying records whose effects partially survived is
-	// harmless (§4.3 — recovery is a set union).
+	// harmless (§4.3 — recovery is a set union). A malformed record —
+	// corrupt bytes that passed the CRC, or facts that fail schema
+	// validation — is rejected and counted, not fatal: only real I/O
+	// failures abort recovery.
 	for _, rec := range records {
 		rs.NVRAMRecords++
+		a.crash.Hit("recover.replay")
 		d, err := a.replayRecord(done, rec.Payload)
 		done = d
 		if err != nil {
+			if errors.Is(err, errBadRecord) {
+				rs.RecordsRejected++
+				continue
+			}
 			return nil, rs, err
 		}
 	}
+	a.crash.Hit("recover.replayed")
 	a.persistedSeq = a.seqs.Current()
 
 	// Medium and volume IDs are never reused either: facts created after
@@ -364,7 +384,9 @@ func OpenAt(cfg Config, sh *shelf.Shelf, at sim.Time, fullScan bool) (*Array, Re
 			LiveBytes:  uint64(a.liveBytes[id]),
 		}.Fact(a.seqs.Next()))
 	}
-	a.pyr[relation.IDSegments].Insert(segFacts)
+	if err := a.pyr[relation.IDSegments].Insert(segFacts); err != nil {
+		return nil, rs, err
+	}
 	if a.nextSegment == 0 {
 		a.nextSegment = 1
 	}
@@ -386,26 +408,30 @@ func (a *Array) applyElideFact(f tuple.Fact) {
 	}
 }
 
-// replayRecord redoes one NVRAM record.
+// replayRecord redoes one NVRAM record. Malformed records (undecodable
+// bytes, unknown kinds, schema-invalid facts) return errors wrapping
+// errBadRecord so the replay loop can reject them without aborting.
 func (a *Array) replayRecord(at sim.Time, payload []byte) (sim.Time, error) {
 	if len(payload) == 0 {
-		return at, errors.New("core: empty NVRAM record")
+		return at, fmt.Errorf("%w: empty payload", errBadRecord)
 	}
 	switch payload[0] {
 	case recFacts:
 		relID, facts, err := decodeFactsRecord(payload[1:])
 		if err != nil {
-			return at, err
+			return at, fmt.Errorf("%w: %v", errBadRecord, err)
 		}
 		for _, f := range facts {
 			a.seqs.AdvanceTo(f.Seq)
 		}
-		a.applyFactsLocked(relID, facts)
+		if err := a.applyFactsLocked(relID, facts); err != nil {
+			return at, fmt.Errorf("%w: %v", errBadRecord, err)
+		}
 		return at, nil
 	case recWrite:
 		chunks, err := decodeWriteRecord(payload[1:])
 		if err != nil {
-			return at, err
+			return at, fmt.Errorf("%w: %v", errBadRecord, err)
 		}
 		done := at
 		for _, ch := range chunks {
@@ -438,12 +464,16 @@ func (a *Array) replayRecord(at sim.Time, payload []byte) (sim.Time, error) {
 					df.Cols[3] = uint64(len(frame))
 				}
 			}
-			a.applyFactsLocked(relation.IDAddrs, []tuple.Fact{ch.addr})
-			a.applyFactsLocked(relation.IDDedup, ch.dedup)
+			if err := a.applyFactsLocked(relation.IDAddrs, []tuple.Fact{ch.addr}); err != nil {
+				return done, fmt.Errorf("%w: %v", errBadRecord, err)
+			}
+			if err := a.applyFactsLocked(relation.IDDedup, ch.dedup); err != nil {
+				return done, fmt.Errorf("%w: %v", errBadRecord, err)
+			}
 		}
 		return done, nil
 	default:
-		return at, fmt.Errorf("core: unknown NVRAM record kind %d", payload[0])
+		return at, fmt.Errorf("%w: unknown record kind %d", errBadRecord, payload[0])
 	}
 }
 

@@ -145,9 +145,13 @@ func (a *Array) commitWriteLocked(at sim.Time, vol VolumeID, off int64, data []b
 	ackAt := a.cpuLocked(done, cpuCost)
 
 	for _, ch := range chunks {
-		a.applyFactsLocked(relation.IDAddrs, []tuple.Fact{ch.addr})
+		if err := a.applyFactsLocked(relation.IDAddrs, []tuple.Fact{ch.addr}); err != nil {
+			return ackAt, err
+		}
 		if len(ch.dedup) > 0 {
-			a.applyFactsLocked(relation.IDDedup, ch.dedup)
+			if err := a.applyFactsLocked(relation.IDDedup, ch.dedup); err != nil {
+				return ackAt, err
+			}
 		}
 	}
 	a.persistedSeq = a.seqs.Current()

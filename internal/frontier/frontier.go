@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"hash/crc32"
 
+	"purity/internal/crashpoint"
 	"purity/internal/layout"
 	"purity/internal/sim"
 	"purity/internal/ssd"
@@ -213,7 +214,11 @@ type BootRegion struct {
 	cfg      layout.Config
 	drives   []*ssd.Device
 	replicas int
+	crash    *crashpoint.Registry
 }
+
+// SetCrash installs a crash-point registry (nil disables injection).
+func (br *BootRegion) SetCrash(r *crashpoint.Registry) { br.crash = r }
 
 // NewBootRegion returns a boot region over the shelf's drives.
 func NewBootRegion(cfg layout.Config, drives []*ssd.Device) *BootRegion {
@@ -237,6 +242,9 @@ func (br *BootRegion) Write(at sim.Time, c *Checkpoint) (sim.Time, error) {
 	off := int64(c.Epoch%2) * br.slotSize()
 	done := at
 	succeeded := 0
+	// A crash before any replica write loses this checkpoint entirely;
+	// recovery falls back to the previous epoch's slot.
+	br.crash.Hit("frontier.boot.begin")
 	for i := 0; i < br.replicas; i++ {
 		d, err := br.drives[i].WriteAt(at, raw, off)
 		if err != nil {
@@ -246,6 +254,9 @@ func (br *BootRegion) Write(at sim.Time, c *Checkpoint) (sim.Time, error) {
 		if d > done {
 			done = d
 		}
+		// A crash here leaves the new checkpoint on a strict subset of the
+		// replicas; ReadLatest still finds it by epoch.
+		br.crash.Hit("frontier.boot.replica")
 	}
 	if succeeded == 0 {
 		return done, errors.New("frontier: no boot replica written")

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"hash/crc32"
 
+	"purity/internal/crashpoint"
 	"purity/internal/erasure"
 	"purity/internal/sim"
 	"purity/internal/ssd"
@@ -44,7 +45,15 @@ type Writer struct {
 	// tasks write disjoint caller-owned memory, so the flushed bytes are
 	// identical with or without it.
 	parallel func(tasks ...func())
+
+	// crash, when set, is the fault-point registry for crash-consistency
+	// sweeps. Points fire between the durable sub-steps of a flush or seal
+	// (after parity encode, after each write wave, after each trailer).
+	crash *crashpoint.Registry
 }
+
+// SetCrash installs a crash-point registry (nil disables injection).
+func (w *Writer) SetCrash(r *crashpoint.Registry) { w.crash = r }
 
 // SetParallel installs a fan-out runner for the flush path's pure-CPU work
 // (see Pool.Run in internal/pipeline). nil reverts to serial encoding.
@@ -258,6 +267,7 @@ func (w *Writer) flushStripe(at sim.Time) (sim.Time, error) {
 	w.wuCRCs = append(w.wuCRCs, crcs)
 
 	// Staggered writes: waves of MaxConcurrentWrites drives.
+	w.crash.Hit("layout.flush.encoded")
 	wuOff := int64(s) * int64(w.cfg.WriteUnit)
 	issue := at
 	done := at
@@ -280,6 +290,10 @@ func (w *Writer) flushStripe(at sim.Time) (sim.Time, error) {
 		}
 		issue = waveDone
 		done = waveDone
+		// A crash here leaves the stripe partially striped across shards:
+		// some write units durable, the rest absent. The segment is unsealed
+		// (no AU trailer), so recovery must never trust this data.
+		w.crash.Hit("layout.flush.wave")
 	}
 
 	w.info.Stripes++
@@ -353,6 +367,7 @@ func (w *Writer) Seal(at sim.Time) (SegmentInfo, sim.Time, error) {
 	if w.info.SeqMin == tuple.MaxSeq {
 		w.info.SeqMin = 0
 	}
+	w.crash.Hit("layout.seal.begin")
 	landed := 0
 	sealDone := done
 	for shard, au := range w.info.AUs {
@@ -377,6 +392,9 @@ func (w *Writer) Seal(at sim.Time) (SegmentInfo, sim.Time, error) {
 		if d > sealDone {
 			sealDone = d
 		}
+		// A crash here leaves the segment sealed on some shards only. One
+		// trailer is enough for recovery to rediscover the whole segment.
+		w.crash.Hit("layout.seal.trailer")
 	}
 	if landed == 0 {
 		return w.info, sealDone, errors.New("layout: no AU trailer written")

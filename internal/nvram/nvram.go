@@ -184,6 +184,39 @@ func (d *Device) Marshal() []byte {
 	return out
 }
 
+// TornTail simulates a power loss that tore the in-flight trailing record:
+// the device re-reads its own marshalled image with the last few bytes
+// missing, so the final record fails its length framing and is dropped at
+// the CRC/framing scan, exactly as a real torn append would be. Returns the
+// number of records that survived. A device with no records is unchanged.
+func (d *Device) TornTail() int {
+	img := d.Marshal()
+	if len(img) <= 8 {
+		return 0
+	}
+	cut := 4
+	if cut > len(img)-8 {
+		cut = len(img) - 8
+	}
+	n, _ := d.Unmarshal(img[:len(img)-cut])
+	return n
+}
+
+// CorruptTail simulates a crash that left the trailing record's bytes
+// present but scrambled (a partial program of the last page): the last
+// payload byte is flipped, so the record fails its CRC at replay and is
+// dropped along with everything after it. Returns the surviving record
+// count. A device with no records is unchanged.
+func (d *Device) CorruptTail() int {
+	img := d.Marshal()
+	if len(img) <= 8 {
+		return 0
+	}
+	img[len(img)-1] ^= 0xFF
+	n, _ := d.Unmarshal(img)
+	return n
+}
+
 // Unmarshal replaces the device contents with the image produced by
 // Marshal. It stops at the first torn or corrupt record, returning how many
 // records survived.

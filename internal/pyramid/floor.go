@@ -18,6 +18,10 @@ import (
 // elided, every version is. A key whose newest version is elided is
 // therefore dead, and GetFloor steps down to the next lower key.
 func (p *Pyramid) GetFloor(at sim.Time, prefix []uint64, col uint64) (tuple.Fact, bool, sim.Time, error) {
+	// Programmer-error guard, not data validation: prefixes are built by
+	// engine code from compiled-in schemas, never from on-disk or replayed
+	// bytes, so a mismatch here is a caller bug and panicking is correct.
+	// (Contrast Insert's SchemaError, which IS reachable from corrupt data.)
 	if len(prefix)+1 != p.cfg.Schema.KeyCols {
 		panic("pyramid: GetFloor prefix must cover all but the last key column")
 	}

@@ -29,6 +29,9 @@ func (p *Pyramid) MergeStep(at sim.Time) (bool, sim.Time, error) {
 		// would misdeclare coverage of the gap.
 		return false, at, nil
 	}
+	// A crash anywhere in the merge leaves the input patches authoritative;
+	// partially-written output pages are orphaned garbage.
+	p.cfg.Crash.Hit("pyramid.merge.begin")
 	merged, done, err := p.mergePatches(at, older, newer)
 	if err != nil {
 		return false, done, err

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync"
 
+	"purity/internal/crashpoint"
 	"purity/internal/elide"
 	"purity/internal/pagecodec"
 	"purity/internal/sim"
@@ -27,6 +28,10 @@ type Config struct {
 	// the same starting sector leaves the older entry's tail visible, so
 	// the older fact must survive until fully covered.
 	Shadowed func(older tuple.Fact, keptNewer []tuple.Fact) bool
+
+	// Crash, when set, is the fault-point registry for crash-consistency
+	// sweeps; persist and merge steps call it between durable sub-steps.
+	Crash *crashpoint.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -97,23 +102,40 @@ func (p *Pyramid) Config() Config { return p.cfg }
 // ElideTable returns the elide table wired to this pyramid (may be nil).
 func (p *Pyramid) ElideTable() *elide.Table { return p.elide }
 
+// SchemaError reports a fact whose column count disagrees with the relation
+// schema. This is an error rather than a panic because it is reachable from
+// replay of a corrupt or torn log record: recovery must be able to reject
+// the record instead of crashing the controller.
+type SchemaError struct {
+	Relation  string
+	Got, Want int
+}
+
+func (e *SchemaError) Error() string {
+	return fmt.Sprintf("pyramid %s: fact with %d cols, schema wants %d", e.Relation, e.Got, e.Want)
+}
+
 // Insert adds facts to the memtable. The engine must have already persisted
 // them to NVRAM — the pyramid only checks monotonic flushing, not commit.
 // Re-inserting facts already flushed (recovery replay) is harmless: lookups
 // take the newest version and merges drop exact duplicates.
-func (p *Pyramid) Insert(facts []tuple.Fact) {
+//
+// Every fact is validated against the schema before any is appended, so a
+// SchemaError leaves the memtable untouched.
+func (p *Pyramid) Insert(facts []tuple.Fact) error {
 	if len(facts) == 0 {
-		return
+		return nil
+	}
+	for _, f := range facts {
+		if len(f.Cols) != p.cfg.Schema.Cols {
+			return &SchemaError{Relation: p.cfg.Name, Got: len(f.Cols), Want: p.cfg.Schema.Cols}
+		}
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	for _, f := range facts {
-		if len(f.Cols) != p.cfg.Schema.Cols {
-			panic(fmt.Sprintf("pyramid %s: fact with %d cols, schema wants %d", p.cfg.Name, len(f.Cols), p.cfg.Schema.Cols))
-		}
-	}
 	p.mem = append(p.mem, facts...)
 	p.memSorted = false
+	return nil
 }
 
 // MemRows returns the number of facts in the memtable.
@@ -136,6 +158,28 @@ func (p *Pyramid) Patches() []*Patch {
 	p.mu.RLock()
 	defer p.mu.RUnlock()
 	return append([]*Patch(nil), p.patches...)
+}
+
+// VerifyPages reads and decodes every page of every installed patch,
+// returning the first failure. Crash sweeps use it as a post-recovery
+// invariant: any page a recovered patch descriptor references must be
+// present, checksummed, and decodable.
+func (p *Pyramid) VerifyPages(at sim.Time) (sim.Time, error) {
+	p.mu.RLock()
+	patches := append([]*Patch(nil), p.patches...)
+	p.mu.RUnlock()
+	done := at
+	for _, patch := range patches {
+		for _, pm := range patch.Pages {
+			_, d, err := p.openPage(done, pm.Ref)
+			done = d
+			if err != nil {
+				return done, fmt.Errorf("pyramid %s: patch [%d,%d] page %+v: %w",
+					p.cfg.Name, patch.SeqLo, patch.SeqHi, pm.Ref, err)
+			}
+		}
+	}
+	return done, nil
 }
 
 // sortMemLocked sorts the memtable (key asc, seq desc) if needed. The
@@ -271,6 +315,10 @@ func (p *Pyramid) writePatch(at sim.Time, sorted []tuple.Fact, seqLo, seqHi tupl
 			return nil, done, err
 		}
 		done = d
+		// A crash here orphans the pages written so far: no descriptor
+		// references them, so recovery never sees this patch and the facts
+		// stay recoverable from NVRAM or older patches.
+		p.cfg.Crash.Hit("pyramid.persist.page")
 		patch.Pages = append(patch.Pages, PageMeta{
 			Ref:    ref,
 			KeyMin: append([]uint64(nil), chunk[0].Cols[:p.cfg.Schema.KeyCols]...),
@@ -283,6 +331,10 @@ func (p *Pyramid) writePatch(at sim.Time, sorted []tuple.Fact, seqLo, seqHi tupl
 	if err != nil {
 		return nil, done, err
 	}
+	// The descriptor is in the segio log but its segment may not be sealed
+	// yet; a crash here relies on the frontier scan (or NVRAM replay) to
+	// recover the facts.
+	p.cfg.Crash.Hit("pyramid.persist.desc")
 	return patch, d, nil
 }
 

@@ -18,6 +18,9 @@ go build ./...
 echo "== go test"
 go test ./...
 
+echo "== crash-consistency sweep (short; full sweep: purity-bench -experiment CS)"
+go test -short -run 'TestCrashSweep|TestTornTailRecovery|TestCorruptTailRecovery|TestCrashDuringRecovery' ./internal/core/
+
 echo "== go test -race (concurrency-bearing packages)"
 go test -race -short ./internal/pipeline/ ./internal/server/ ./internal/dedup/
 go test -race -short -run 'TestConcurrentWriters' ./internal/core/
