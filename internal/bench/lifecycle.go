@@ -1,0 +1,162 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+
+	"purity/internal/core"
+	"purity/internal/sim"
+	"purity/internal/workload"
+)
+
+// runE12 exercises the full drive-failure lifecycle (§4.2, §5.1): latent
+// corruption is injected and scrubbed away in place, then two drives are
+// pulled mid-workload, replaced with fresh devices, and rebuilt online to
+// full redundancy — with read latency measured healthy, degraded, during
+// the rebuild, and after it, and a golden volume checked byte-for-byte at
+// the end (zero data loss through the whole ordeal).
+func runE12(o Options) error {
+	w := o.Out
+	// A small DRAM cache keeps reads on the drives, so the failure story is
+	// carried by parity and rebuild, not caching.
+	arr, err := newBenchArray(o, func(c *core.Config) { c.CBlockCacheEntries = 32 })
+	if err != nil {
+		return err
+	}
+
+	// Golden volume: prefilled, never written again. Its bytes must survive
+	// corruption, scrub, two drive losses and the rebuild untouched.
+	goldenBytes := int64(o.scale(16, 8)) << 20
+	golden, _, err := arr.CreateVolume(0, "e12-golden", goldenBytes)
+	if err != nil {
+		return err
+	}
+	now, err := workload.Prefill(arr, golden, goldenBytes, 32<<10, workload.ClassVMImage, o.Seed+1, 0)
+	if err != nil {
+		return err
+	}
+	want, now, err := arr.ReadAt(now, golden, 0, int(goldenBytes))
+	if err != nil {
+		return err
+	}
+	want = append([]byte(nil), want...)
+
+	// Working volume: carries the foreground load through every phase.
+	volBytes := int64(o.scale(96, 32)) << 20
+	vol, _, err := arr.CreateVolume(now, "e12", volBytes)
+	if err != nil {
+		return err
+	}
+	if now, err = workload.Prefill(arr, vol, volBytes, 32<<10, workload.ClassDatabase, o.Seed, now); err != nil {
+		return err
+	}
+	if now, err = arr.FlushAll(now); err != nil {
+		return err
+	}
+
+	mix := workload.Mix{ReadFraction: 0.7, IOSize: 32 << 10, Class: workload.ClassDatabase, Seed: o.Seed}
+	phase := func(label string) error {
+		res, err := workload.RunClosedLoop(arr, vol, volBytes, mix, 32, o.scale(4000, 800), now)
+		if err != nil {
+			return err
+		}
+		now += res.SimDuration
+		fmt.Fprintf(w, "%-28s %8.0f IOPS   read p99 %8v   errors %d\n",
+			label, res.IOPS, res.ReadLat.Percentile(99), res.Errors)
+		return nil
+	}
+	if err := phase("healthy"); err != nil {
+		return err
+	}
+
+	// --- Latent corruption and scrub ---
+	injected := arr.InjectBitFlips(o.Seed+99, o.scale(64, 16))
+	srep, d, err := arr.Scrub(now)
+	if err != nil {
+		return err
+	}
+	now = d
+	fmt.Fprintf(w, "\nscrub after injecting %d flipped bits: %d stripes verified, %d bad write units, %d repaired in place\n",
+		injected, srep.StripesVerified, srep.BadWriteUnits, srep.WriteUnitsRepaired)
+	if srep.WriteUnitsRepaired != injected {
+		return fmt.Errorf("E12: scrub repaired %d of %d injected corruptions", srep.WriteUnitsRepaired, injected)
+	}
+	srep2, d, err := arr.Scrub(now)
+	if err != nil {
+		return err
+	}
+	now = d
+	if srep2.BadWriteUnits != 0 {
+		return fmt.Errorf("E12: %d bad write units remain after repair scrub", srep2.BadWriteUnits)
+	}
+	fmt.Fprintf(w, "verification scrub: 0 bad write units remain\n\n")
+
+	// --- Two drive losses, replacement, online rebuild ---
+	sh := arr.Shelf()
+	sh.PullDrive(2) // drive 2 also carries a boot-region replica
+	sh.PullDrive(7)
+	if err := phase("two drives pulled"); err != nil {
+		return err
+	}
+
+	t0 := now
+	var rebuildTime sim.Time
+	for _, drive := range []int{2, 7} {
+		if now, err = arr.ReplaceDrive(now, drive); err != nil {
+			return err
+		}
+	}
+	start := now
+	rep2, d2, err := arr.Rebuild(now, 2)
+	if err != nil {
+		return err
+	}
+	now = d2
+	rebuildTime += now - start
+	fmt.Fprintf(w, "rebuild drive 2: %d segments, %d MiB reconstructed, %d intact, %v sim time\n",
+		rep2.SegmentsRebuilt, rep2.BytesMoved>>20, rep2.SkippedIntact, d2-start)
+
+	// Foreground load while drive 7 is still being served from parity —
+	// the "during rebuild" regime.
+	if err := phase("during rebuild (1 of 2 done)"); err != nil {
+		return err
+	}
+
+	start = now
+	rep7, d7, err := arr.Rebuild(now, 7)
+	if err != nil {
+		return err
+	}
+	now = d7
+	rebuildTime += now - start
+	fmt.Fprintf(w, "rebuild drive 7: %d segments, %d MiB reconstructed, %d intact, %v sim time\n",
+		rep7.SegmentsRebuilt, rep7.BytesMoved>>20, rep7.SkippedIntact, d7-start)
+	fmt.Fprintf(w, "time to full redundancy: %v rebuilding (%v wall incl. interleaved foreground)\n",
+		rebuildTime, now-t0)
+
+	st := arr.Stats()
+	if st.LostShards != 0 {
+		return fmt.Errorf("E12: %d shards still lost after rebuild", st.LostShards)
+	}
+	for i, s := range st.DriveStates {
+		if s != "healthy" {
+			return fmt.Errorf("E12: drive %d state %q after rebuild", i, s)
+		}
+	}
+	if err := phase("after rebuild"); err != nil {
+		return err
+	}
+
+	got, _, err := arr.ReadAt(now, golden, 0, int(goldenBytes))
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(got, want) {
+		return fmt.Errorf("E12: golden volume diverged after rebuild")
+	}
+	fmt.Fprintf(w, "\nintegrity: golden volume byte-identical through corruption, scrub, two losses and rebuild\n")
+	fmt.Fprintf(w, "\nPaper shape: scrub repairs latent flash damage in place from parity; a pulled\n")
+	fmt.Fprintf(w, "drive degrades reads but not correctness; rebuild streams lost shards onto the\n")
+	fmt.Fprintf(w, "replacement concurrently with foreground I/O and ends with full 7+2 redundancy.\n")
+	return nil
+}

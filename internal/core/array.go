@@ -78,6 +78,16 @@ type Array struct {
 	opsSinceBG   int
 	bgSinceCkpt  int
 
+	// lost marks shards whose current AU holds no valid data yet — rebuild
+	// targets between drive replacement and data copy. The reader skips
+	// them (as home and as donor) and serves those shards from parity.
+	// Guarded by lostMu, not mu: the reader consults it through a callback
+	// while mu is already held.
+	lostMu sync.Mutex
+	lost   map[layout.SegmentID]map[int]bool
+
+	scrubCursor layout.SegmentID // resume point for the paced scrub walker
+
 	// crash is the (possibly nil) fault-point registry from Config.Crash.
 	crash *crashpoint.Registry
 
@@ -107,6 +117,15 @@ type Stats struct {
 	Flattened           int64
 	HedgedReads         int64
 	SpeculativePromotes int64
+	// Drive-health lifecycle counters (§5.1, §4.2): scrub passes and their
+	// in-place repairs, drive replacements, and completed rebuilds.
+	ScrubPasses      int64
+	ScrubSegments    int64
+	ScrubWUsRepaired int64
+	DriveReplaces    int64
+	Rebuilds         int64
+	RebuildSegments  int64
+	RebuildBytes     int64
 	// SegReadErrors / UnpackErrors / ExtentReadErrors count segment-read,
 	// cblock-unpack, and extent-read failures (formerly ad-hoc debug
 	// prints). The first two are survived — reads reconstruct, dedup
@@ -194,6 +213,7 @@ func newSkeleton(cfg Config, sh *shelf.Shelf) (*Array, error) {
 		boot:        frontier.NewBootRegion(cfg.Layout, sh.Drives()),
 		segMap:      make(map[layout.SegmentID]layout.SegmentInfo),
 		liveBytes:   make(map[layout.SegmentID]int64),
+		lost:        make(map[layout.SegmentID]map[int]bool),
 		recent:      dedup.NewRecentIndex(cfg.RecentIndexSize),
 		cblocks:     newCBlockCache(cfg.CBlockCacheEntries),
 		stats:       newStats(),
@@ -202,6 +222,7 @@ func newSkeleton(cfg Config, sh *shelf.Shelf) (*Array, error) {
 		crash:       cfg.Crash,
 	}
 	a.boot.SetCrash(cfg.Crash)
+	a.reader.SetShardLost(a.shardLost)
 	for _, id := range []uint32{
 		relation.IDMediums, relation.IDAddrs, relation.IDDedup,
 		relation.IDSegments, relation.IDSegmentAUs, relation.IDVolumes, relation.IDElide,
@@ -263,6 +284,52 @@ func (a *Array) Config() Config { return a.cfg }
 
 // failedDrive reports whether a drive is offline, for the allocator.
 func (a *Array) failedDrive(d int) bool { return a.shelf.Drive(d).Failed() }
+
+// shardLost is the reader's lost-shard oracle.
+func (a *Array) shardLost(id layout.SegmentID, slot int) bool {
+	a.lostMu.Lock()
+	defer a.lostMu.Unlock()
+	return a.lost[id][slot]
+}
+
+// setShardLost marks or clears one shard's lost state.
+func (a *Array) setShardLost(id layout.SegmentID, slot int, v bool) {
+	a.lostMu.Lock()
+	defer a.lostMu.Unlock()
+	if v {
+		m := a.lost[id]
+		if m == nil {
+			m = make(map[int]bool)
+			a.lost[id] = m
+		}
+		m[slot] = true
+		return
+	}
+	if m := a.lost[id]; m != nil {
+		delete(m, slot)
+		if len(m) == 0 {
+			delete(a.lost, id)
+		}
+	}
+}
+
+// clearSegmentLost drops every lost mark of a segment (on retirement).
+func (a *Array) clearSegmentLost(id layout.SegmentID) {
+	a.lostMu.Lock()
+	defer a.lostMu.Unlock()
+	delete(a.lost, id)
+}
+
+// lostShardOn returns the shard of segment id placed on `drive` that is
+// marked lost, or -1. A segment never has two shards on one drive.
+func (a *Array) lostShardOn(info layout.SegmentInfo, drive int) int {
+	for slot, au := range info.AUs {
+		if au.Drive == drive && a.shardLost(info.ID, slot) {
+			return slot
+		}
+	}
+	return -1
+}
 
 // cpuLocked occupies the least-busy event core for `cost`, returning when
 // the op's CPU work finishes. Requests queue behind busy cores — the

@@ -8,6 +8,7 @@ import (
 
 	"purity/internal/frontier"
 	"purity/internal/layout"
+	"purity/internal/nvram"
 	"purity/internal/pyramid"
 	"purity/internal/relation"
 	"purity/internal/sim"
@@ -125,17 +126,32 @@ func (a *Array) nvramAppendOnce(at sim.Time, rec []byte) (sim.Time, error) {
 	done := at
 	// A crash here loses the record entirely: the op was never acked.
 	a.crash.Hit("nvram.append.before")
+	landed := 0
 	for i := 0; i < a.shelf.NumNVRAM(); i++ {
-		_, d, err := a.shelf.NVRAM(i).Append(at, rec)
+		nv := a.shelf.NVRAM(i)
+		if nv.Failed() {
+			// A dead mirror degrades redundancy but must not block commits
+			// (§4.1: the pair exists so one can die). Replay selects a
+			// surviving device.
+			continue
+		}
+		_, d, err := nv.Append(at, rec)
 		if err != nil {
+			if errors.Is(err, nvram.ErrFailed) {
+				continue
+			}
 			return done, err
 		}
+		landed++
 		if d > done {
 			done = d
 		}
 		// A crash here leaves the record on a prefix of the mirrors; replay
-		// reads device 0, which always has it.
+		// reads the surviving device with the longest log, which has it.
 		a.crash.Hit("nvram.append.mirror")
+	}
+	if landed == 0 {
+		return done, nvram.ErrFailed
 	}
 	// The torn/corrupt points fire with the record fully appended; the sweep
 	// harness recognizes them by name and applies Device.TornTail /
@@ -253,8 +269,13 @@ func (a *Array) checkpointLocked(at sim.Time) (sim.Time, error) {
 	// replaying the whole log against it must be harmless (set union).
 	a.crash.Hit("ckpt.boot-written")
 	// 5. Everything referenced by the checkpoint is durable: release NVRAM.
+	// Failed devices are skipped — their stale log is superseded by the
+	// checkpoint, and replay never selects a failed device.
 	for i := 0; i < a.shelf.NumNVRAM(); i++ {
 		nv := a.shelf.NVRAM(i)
+		if nv.Failed() {
+			continue
+		}
 		if err := nv.Release(nv.Head()); err != nil {
 			return done, err
 		}

@@ -257,10 +257,22 @@ func (run *sweepRun) workload(ops int) error {
 				return fmt.Errorf("step %d: bg dedup: %w", step, err)
 			}
 			run.now = d
-		case op < 92:
+		case op < 91:
 			d, err := run.a.FlushAll(run.now)
 			if err != nil {
 				return fmt.Errorf("step %d: flush: %w", step, err)
+			}
+			run.now = d
+		case op < 93:
+			if err := run.opDriveLifecycle(); err != nil {
+				return fmt.Errorf("step %d: drive lifecycle: %w", step, err)
+			}
+		case op < 95:
+			run.opCorrupt()
+		case op < 97:
+			_, d, err := run.a.ScrubStep(run.now, 2)
+			if err != nil {
+				return fmt.Errorf("step %d: scrub: %w", step, err)
 			}
 			run.now = d
 		default:
@@ -326,6 +338,57 @@ func (run *sweepRun) opClone(src *sweepVol, name string) error {
 		data: append([]byte(nil), src.data...)})
 	run.pending = sweepPending{}
 	return nil
+}
+
+// opDriveLifecycle pulls one healthy drive, swaps in a replacement, and
+// rebuilds it back to full redundancy — the whole failure lifecycle in one
+// deterministic step, so the rebuild.* fault points land in the census. A
+// crash anywhere inside leaves a pulled or part-rebuilt drive for recovery
+// to cope with.
+func (run *sweepRun) opDriveLifecycle() error {
+	drive := run.r.Intn(run.sh.NumDrives())
+	if run.sh.State(drive) != shelf.DriveHealthy {
+		return nil
+	}
+	if err := run.sh.PullDrive(drive); err != nil {
+		return err
+	}
+	d, err := run.a.ReplaceDrive(run.now, drive)
+	if err != nil {
+		return err
+	}
+	run.now = d
+	_, d, err = run.a.Rebuild(run.now, drive)
+	if err != nil {
+		return err
+	}
+	run.now = d
+	return nil
+}
+
+// opCorrupt flips one bit in a random write unit of a random sealed
+// segment — silent latent damage that verified reads and scrub must catch
+// and repair. Only sealed segments are targeted: their trailer CRCs are
+// what makes the damage detectable shard-by-shard.
+func (run *sweepRun) opCorrupt() {
+	a := run.a
+	a.mu.Lock()
+	ids := a.sealedIDsLocked()
+	if len(ids) == 0 {
+		a.mu.Unlock()
+		return
+	}
+	info := a.segMap[ids[run.r.Intn(len(ids))]]
+	a.mu.Unlock()
+	if info.Stripes == 0 {
+		return
+	}
+	au := info.AUs[run.r.Intn(len(info.AUs))]
+	drv := run.sh.Drive(au.Drive)
+	s := run.r.Intn(info.Stripes)
+	off := au.Offset(run.cfg.Layout) + int64(s)*int64(run.cfg.Layout.WriteUnit) +
+		int64(run.r.Intn(run.cfg.Layout.WriteUnit))
+	drv.FlipBit(off, uint(run.r.Intn(8)))
 }
 
 func (run *sweepRun) opDelete(v *sweepVol) error {

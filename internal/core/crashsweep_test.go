@@ -42,7 +42,7 @@ func TestCrashSweep(t *testing.T) {
 	if len(points) < 25 {
 		t.Errorf("only %d distinct crash points hit, want >= 25: %v", len(points), points)
 	}
-	for _, family := range []string{"nvram.", "layout.", "pyramid.", "frontier.", "ckpt.", "gc.", "recover."} {
+	for _, family := range []string{"nvram.", "layout.", "pyramid.", "frontier.", "ckpt.", "gc.", "recover.", "rebuild."} {
 		found := false
 		for _, p := range points {
 			if strings.HasPrefix(p, family) {

@@ -359,6 +359,8 @@ func (a *Array) evacuateSegmentLocked(at sim.Time, id layout.SegmentID, blocks m
 	delete(a.segMap, id)
 	delete(a.liveBytes, id)
 	a.cblocks.invalidateSegment(uint64(id))
+	a.reader.InvalidateSegment(id)
+	a.clearSegmentLost(id)
 	rep.SegmentsReclaimed++
 	return done, nil
 }
@@ -502,102 +504,180 @@ func (a *Array) flattenDeepMediumsLocked(at sim.Time, rep *GCReport) (sim.Time, 
 
 // ScrubReport summarizes a scrub pass (§5.1).
 type ScrubReport struct {
-	SegmentsScanned  int
-	StripesVerified  int
-	BadWriteUnits    int
-	SegmentsRepaired int
+	SegmentsScanned    int
+	StripesVerified    int
+	BadWriteUnits      int
+	WriteUnitsRepaired int
+	SegmentsRepaired   int
 }
 
-// Scrub verifies every sealed segment's write units against their recorded
-// CRCs, and evacuates (rewrites) any segment with latent damage — the
-// proactive pass that lets worn flash run past its rated life (§5.1).
+// Add accumulates other into r, so paced ScrubStep results can be summed
+// into a whole-pass report.
+func (r *ScrubReport) Add(other ScrubReport) {
+	r.SegmentsScanned += other.SegmentsScanned
+	r.StripesVerified += other.StripesVerified
+	r.BadWriteUnits += other.BadWriteUnits
+	r.WriteUnitsRepaired += other.WriteUnitsRepaired
+	r.SegmentsRepaired += other.SegmentsRepaired
+}
+
+// Scrub verifies every sealed segment's write units against their trailer
+// CRCs and repairs damage *in place*: a bad unit is reconstructed from its
+// K healthy peers and rewritten to its own AU (the FTL relocates the worn
+// pages). This is the proactive pass that catches latent bit errors before
+// a real drive failure stacks on top of them (§5.1). Unlike evacuation it
+// moves no live data and works for metadata segments too.
 func (a *Array) Scrub(at sim.Time) (ScrubReport, sim.Time, error) {
 	a.mu.Lock()
+	ids := a.sealedIDsLocked()
+	a.mu.Unlock()
+
+	var rep ScrubReport
+	done := at
+	for _, id := range ids {
+		a.mu.Lock()
+		d, err := a.scrubSegmentLocked(done, id, &rep)
+		a.mu.Unlock()
+		done = d
+		if err != nil {
+			return rep, done, err
+		}
+	}
+	a.mu.Lock()
+	a.stats.ScrubPasses++
+	a.mu.Unlock()
+	return rep, done, nil
+}
+
+// ScrubStep advances the background scrub by up to maxSegments sealed
+// segments, resuming from a persistent cursor — the paced walker shape of
+// BackgroundDedup, so the engine can interleave scrub with foreground work
+// instead of stalling on a whole-array pass. Wrapping past the last
+// segment counts a completed pass.
+func (a *Array) ScrubStep(at sim.Time, maxSegments int) (ScrubReport, sim.Time, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var rep ScrubReport
+	done := at
+	if maxSegments <= 0 {
+		return rep, done, nil
+	}
+	ids := a.sealedIDsLocked()
+	if len(ids) == 0 {
+		return rep, done, nil
+	}
+	// Resume strictly after the cursor. When the step reaches the end of
+	// the list it counts a completed pass and resets; the next step starts
+	// over from the lowest segment.
+	start := sort.Search(len(ids), func(i int) bool { return ids[i] > a.scrubCursor })
+	for n := 0; n < maxSegments && start+n < len(ids); n++ {
+		id := ids[start+n]
+		d, err := a.scrubSegmentLocked(done, id, &rep)
+		done = d
+		a.scrubCursor = id
+		if err != nil {
+			return rep, done, err
+		}
+	}
+	if a.scrubCursor >= ids[len(ids)-1] {
+		a.stats.ScrubPasses++
+		a.scrubCursor = 0
+	}
+	return rep, done, nil
+}
+
+// InjectBitFlips flips one bit in each of up to n distinct write units of
+// sealed segments — deterministic latent-damage injection for the E12
+// experiment and the scrub tests. Lost shards and failed drives are
+// skipped, and no stripe takes more than ParityShards damaged units: that
+// is the regime scrub exists for (repair latent errors while they are
+// still within what the code can reconstruct — beyond it, only rebuild
+// after a whole-drive loss applies). Returns how many write units were
+// damaged.
+func (a *Array) InjectBitFlips(seed uint64, n int) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	r := sim.NewRand(seed)
+	ids := a.sealedIDsLocked()
+	if len(ids) == 0 {
+		return 0
+	}
+	type stripeKey struct {
+		id layout.SegmentID
+		s  int
+	}
+	type unit struct {
+		au layout.AU
+		s  int
+	}
+	perStripe := map[stripeKey]int{}
+	hit := map[unit]bool{}
+	flipped := 0
+	for attempt := 0; attempt < n*20 && flipped < n; attempt++ {
+		info := a.segMap[ids[r.Intn(len(ids))]]
+		if info.Stripes == 0 {
+			continue
+		}
+		slot := r.Intn(len(info.AUs))
+		au := info.AUs[slot]
+		if a.shardLost(info.ID, slot) || a.shelf.Drive(au.Drive).Failed() {
+			continue
+		}
+		s := r.Intn(info.Stripes)
+		if perStripe[stripeKey{info.ID, s}] >= a.cfg.Layout.ParityShards {
+			continue
+		}
+		u := unit{au, s}
+		if hit[u] {
+			continue
+		}
+		hit[u] = true
+		perStripe[stripeKey{info.ID, s}]++
+		off := au.Offset(a.cfg.Layout) + int64(s)*int64(a.cfg.Layout.WriteUnit) +
+			int64(r.Intn(a.cfg.Layout.WriteUnit))
+		a.shelf.Drive(au.Drive).FlipBit(off, uint(r.Intn(8)))
+		flipped++
+	}
+	return flipped
+}
+
+// sealedIDsLocked returns the sorted IDs of sealed segments. Caller holds
+// mu.
+func (a *Array) sealedIDsLocked() []layout.SegmentID {
 	ids := make([]layout.SegmentID, 0, len(a.segMap))
 	for id, info := range a.segMap {
 		if info.Sealed {
 			ids = append(ids, id)
 		}
 	}
-	a.mu.Unlock()
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
 
-	var rep ScrubReport
+// scrubSegmentLocked CRC-checks one sealed segment's write units and
+// repairs mismatches in place. Caller holds mu.
+func (a *Array) scrubSegmentLocked(at sim.Time, id layout.SegmentID, rep *ScrubReport) (sim.Time, error) {
 	done := at
-	damaged := map[layout.SegmentID]bool{}
-	for _, id := range ids {
-		a.mu.Lock()
-		info, ok := a.segMap[id]
-		a.mu.Unlock()
-		if !ok {
-			continue
-		}
-		rep.SegmentsScanned++
-		// Any shard's AU trailer carries the CRCs; try them in order.
-		var trailer layout.AUTrailer
-		found := false
-		for _, au := range info.AUs {
-			t, d, err := a.reader.ReadAUTrailer(done, au)
-			done = d
-			if err == nil {
-				trailer = t
-				found = true
-				break
-			}
-		}
-		if !found {
-			continue
-		}
-		for s := 0; s < trailer.Stripes; s++ {
-			bad, d := a.reader.VerifyStripe(done, trailer, s)
-			done = d
-			rep.StripesVerified++
-			rep.BadWriteUnits += len(bad)
-			if len(bad) > 0 {
-				damaged[id] = true
-			}
-		}
+	info, ok := a.segMap[id]
+	if !ok || !info.Sealed {
+		return done, nil
 	}
-
-	// Repair: evacuating the segment rewrites its live data elsewhere via
-	// reconstruction, then erases the damaged AUs. Segments holding live
-	// metadata pages are left for pyramid merges to rewrite first (their
-	// stripes remain readable through parity meanwhile).
-	if len(damaged) > 0 {
-		a.mu.Lock()
-		metaLive := map[layout.SegmentID]bool{}
-		for _, relID := range a.relationIDs() {
-			for _, patch := range a.pyr[relID].Patches() {
-				for _, pg := range patch.Pages {
-					metaLive[layout.SegmentID(pg.Ref.Segment)] = true
-				}
-			}
-		}
-		live, d2, err := a.computeLivenessLocked(done)
-		d := d2
-		if err != nil {
-			a.mu.Unlock()
-			return rep, d, err
-		}
+	rep.SegmentsScanned++
+	a.stats.ScrubSegments++
+	var rstats layout.ReadStats
+	segRepaired := 0
+	for s := 0; s < info.Stripes; s++ {
+		bad, repaired, d := a.reader.ScrubStripe(done, info, s, &rstats)
 		done = d
-		victims := make([]layout.SegmentID, 0, len(damaged))
-		for id := range damaged {
-			if !metaLive[id] {
-				victims = append(victims, id)
-			}
-		}
-		sort.Slice(victims, func(i, j int) bool { return victims[i] < victims[j] })
-		for _, id := range victims {
-			var gcRep GCReport
-			d, err := a.evacuateSegmentLocked(done, id, live[id], &gcRep)
-			if err != nil {
-				a.mu.Unlock()
-				return rep, d, err
-			}
-			done = d
-			rep.SegmentsRepaired++
-		}
-		a.mu.Unlock()
+		rep.StripesVerified++
+		rep.BadWriteUnits += bad
+		rep.WriteUnitsRepaired += repaired
+		segRepaired += repaired
 	}
-	return rep, done, nil
+	if segRepaired > 0 {
+		rep.SegmentsRepaired++
+	}
+	a.stats.ScrubWUsRepaired += int64(segRepaired)
+	a.stats.SegRead.Add(rstats)
+	return done, nil
 }

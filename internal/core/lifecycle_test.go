@@ -1,0 +1,291 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestScrubRepairsAllInjectedCorruption: every latent bit flip the injector
+// places (at most M per stripe — within parity) must be found and repaired
+// in place by one scrub pass, and a second pass must find nothing.
+func TestScrubRepairsAllInjectedCorruption(t *testing.T) {
+	a := newArray(t)
+	vol := mustCreate(t, a, "v", 4<<20)
+	data := pattern(40, 1<<20)
+	mustWrite(t, a, vol, 0, data)
+	if _, err := a.FlushAll(0); err != nil {
+		t.Fatal(err)
+	}
+
+	injected := a.InjectBitFlips(9, 10)
+	if injected == 0 {
+		t.Fatal("injector placed no corruption")
+	}
+	rep, _, err := a.Scrub(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BadWriteUnits != injected || rep.WriteUnitsRepaired != injected {
+		t.Fatalf("scrub found %d bad, repaired %d, want %d of each",
+			rep.BadWriteUnits, rep.WriteUnitsRepaired, injected)
+	}
+	rep2, _, err := a.Scrub(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.BadWriteUnits != 0 {
+		t.Fatalf("%d bad write units remain after repair", rep2.BadWriteUnits)
+	}
+	if got := mustRead(t, a, vol, 0, len(data)); !bytes.Equal(got, data) {
+		t.Fatal("data diverged across inject+scrub")
+	}
+	if st := a.Stats(); st.ScrubWUsRepaired != int64(injected) || st.ScrubPasses != 2 {
+		t.Fatalf("stats = repaired %d passes %d, want %d and 2",
+			st.ScrubWUsRepaired, st.ScrubPasses, injected)
+	}
+}
+
+// TestScrubStepPacedWalkerCoversEverything: the incremental walker must
+// visit every sealed segment across steps and count exactly one full pass.
+func TestScrubStepPacedWalkerCoversEverything(t *testing.T) {
+	a := newArray(t)
+	vol := mustCreate(t, a, "v", 4<<20)
+	mustWrite(t, a, vol, 0, pattern(44, 1<<20))
+	if _, err := a.FlushAll(0); err != nil {
+		t.Fatal(err)
+	}
+	injected := a.InjectBitFlips(11, 6)
+
+	repaired := 0
+	for i := 0; i < 100; i++ {
+		rep, _, err := a.ScrubStep(0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		repaired += rep.WriteUnitsRepaired
+		if a.Stats().ScrubPasses > 0 {
+			break
+		}
+	}
+	if repaired != injected {
+		t.Fatalf("paced walker repaired %d of %d injected", repaired, injected)
+	}
+	if a.Stats().ScrubPasses != 1 {
+		t.Fatalf("ScrubPasses = %d after one full walk", a.Stats().ScrubPasses)
+	}
+}
+
+// TestRebuildRestoresRedundancyAndBootRegion: pull a drive that also hosts
+// a boot-region replica, replace it, rebuild — every lost shard must be
+// reconstructed onto the replacement, the shelf must return to healthy, and
+// a crash-reopen afterwards must still find a valid boot region.
+func TestRebuildRestoresRedundancyAndBootRegion(t *testing.T) {
+	cfg := TestConfig()
+	a, err := Format(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vol := mustCreate(t, a, "v", 4<<20)
+	data := pattern(41, 768<<10)
+	mustWrite(t, a, vol, 0, data)
+	if _, err := a.FlushAll(0); err != nil {
+		t.Fatal(err)
+	}
+
+	a.Shelf().PullDrive(1) // drive 1 carries a boot replica
+	if got := mustRead(t, a, vol, 0, len(data)); !bytes.Equal(got, data) {
+		t.Fatal("degraded read diverged")
+	}
+
+	now, err := a.ReplaceDrive(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, now, err := a.Rebuild(now, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Unrecoverable != 0 {
+		t.Fatalf("rebuild left %d shards unrecoverable", rep.Unrecoverable)
+	}
+	if rep.SegmentsRebuilt == 0 {
+		t.Fatal("rebuild moved nothing despite data on the pulled drive")
+	}
+	st := a.Stats()
+	if st.LostShards != 0 {
+		t.Fatalf("%d shards still lost after rebuild", st.LostShards)
+	}
+	for i, s := range st.DriveStates {
+		if s != "healthy" {
+			t.Fatalf("drive %d state %q after rebuild", i, s)
+		}
+	}
+	if got := mustRead(t, a, vol, 0, len(data)); !bytes.Equal(got, data) {
+		t.Fatal("data diverged after rebuild")
+	}
+
+	// The replacement is blank until ReplaceDrive re-checkpoints; a crash
+	// now must still boot (and read back the same bytes).
+	a2, _, err := OpenAt(cfg, a.Shelf(), now, false)
+	if err != nil {
+		t.Fatalf("reopen after boot-drive replacement: %v", err)
+	}
+	if got := mustRead(t, a2, vol, 0, len(data)); !bytes.Equal(got, data) {
+		t.Fatal("data diverged after rebuild + crash")
+	}
+}
+
+// TestRebuildSurvivesSecondFailure: while drive A's shards are lost, drive
+// B fails too (M=2 tolerates it); both rebuilds must complete and the data
+// must be intact — the paper's dual-drive-failure claim at engine level.
+func TestRebuildSurvivesSecondFailure(t *testing.T) {
+	cfg := TestConfig()
+	cfg.Shelf.Drives = 8 // headroom so 5-shard segments dodge two failed drives
+	a, err := Format(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vol := mustCreate(t, a, "v", 4<<20)
+	data := pattern(42, 512<<10)
+	mustWrite(t, a, vol, 0, data)
+	if _, err := a.FlushAll(0); err != nil {
+		t.Fatal(err)
+	}
+
+	a.Shelf().PullDrive(3)
+	a.Shelf().PullDrive(6)
+	now, err := a.ReplaceDrive(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if now, err = a.ReplaceDrive(now, 6); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range []int{3, 6} {
+		if _, now, err = a.Rebuild(now, d); err != nil {
+			t.Fatalf("rebuild drive %d: %v", d, err)
+		}
+	}
+	st := a.Stats()
+	if st.LostShards != 0 {
+		t.Fatalf("%d shards still lost after double rebuild", st.LostShards)
+	}
+	if got := mustRead(t, a, vol, 0, len(data)); !bytes.Equal(got, data) {
+		t.Fatal("data diverged after double failure + rebuild")
+	}
+}
+
+// TestOpenAtWithOneNVRAMFailed: unflushed writes must replay from the
+// surviving NVRAM device when either one of the redundant pair is dead,
+// and writes issued after the failure must land on the survivor.
+func TestOpenAtWithOneNVRAMFailed(t *testing.T) {
+	for fail := 0; fail < 2; fail++ {
+		t.Run(fmt.Sprintf("nvram%d", fail), func(t *testing.T) {
+			a := newArray(t)
+			vol := mustCreate(t, a, "v", 2<<20)
+			before := pattern(50, 64<<10)
+			mustWrite(t, a, vol, 0, before) // staged in both NVRAMs, unflushed
+
+			a.Shelf().NVRAM(fail).Fail()
+			after := pattern(51, 64<<10)
+			mustWrite(t, a, vol, 64<<10, after) // survivor only
+
+			a2, _, err := OpenAt(TestConfig(), a.Shelf(), 0, false)
+			if err != nil {
+				t.Fatalf("recovery with NVRAM %d failed: %v", fail, err)
+			}
+			if got := mustRead(t, a2, vol, 0, len(before)); !bytes.Equal(got, before) {
+				t.Fatal("pre-failure write lost")
+			}
+			if got := mustRead(t, a2, vol, 64<<10, len(after)); !bytes.Equal(got, after) {
+				t.Fatal("post-failure write lost")
+			}
+		})
+	}
+}
+
+// TestConcurrentScrubRebuildForeground races foreground writers against the
+// paced scrub walker and a full pull/replace/rebuild cycle. Run under
+// -race (scripts/check.sh does); afterwards every region must match its
+// model and the shelf must be healthy again.
+func TestConcurrentScrubRebuildForeground(t *testing.T) {
+	const (
+		writers   = 4
+		regionLen = int64(256 << 10)
+		writes    = 50
+	)
+	cfg := TestConfig()
+	cfg.Shelf.DriveConfig.Capacity = 200 * cfg.Layout.AUSize()
+	a, err := Format(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	volSize := regionLen * writers
+	vol := mustCreate(t, a, "cv", volSize)
+	models := make([][]byte, writers)
+	for i := range models {
+		models[i] = make([]byte, regionLen)
+		base := pattern(uint64(60+i), int(regionLen))
+		mustWrite(t, a, vol, int64(i)*regionLen, base)
+		copy(models[i], base)
+	}
+	if _, err := a.FlushAll(0); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			concurrentWriter(t, a, vol, uint64(i+1), int64(i)*regionLen, regionLen, models[i], writes)
+		}()
+	}
+	wg.Add(1)
+	go func() { // background scrub, one segment at a time
+		defer wg.Done()
+		for j := 0; j < 30; j++ {
+			if _, _, err := a.ScrubStep(0, 1); err != nil {
+				t.Errorf("ScrubStep: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() { // drive loss, replacement and online rebuild mid-workload
+		defer wg.Done()
+		if err := a.Shelf().PullDrive(4); err != nil {
+			t.Errorf("PullDrive: %v", err)
+			return
+		}
+		now, err := a.ReplaceDrive(0, 4)
+		if err != nil {
+			t.Errorf("ReplaceDrive: %v", err)
+			return
+		}
+		if _, _, err := a.Rebuild(now, 4); err != nil {
+			t.Errorf("Rebuild: %v", err)
+		}
+	}()
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	st := a.Stats()
+	if st.LostShards != 0 {
+		t.Fatalf("%d shards still lost after concurrent rebuild", st.LostShards)
+	}
+	if st.DriveStates[4] != "healthy" {
+		t.Fatalf("drive 4 state %q after concurrent rebuild", st.DriveStates[4])
+	}
+	for i := range models {
+		got := mustRead(t, a, vol, int64(i)*regionLen, int(regionLen))
+		if !bytes.Equal(got, models[i]) {
+			t.Fatalf("region %d diverged from model", i)
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"purity/internal/cblock"
 	"purity/internal/layout"
+	"purity/internal/nvram"
 	"purity/internal/pyramid"
 	"purity/internal/relation"
 	"purity/internal/shelf"
@@ -24,7 +25,8 @@ type RecoveryStats struct {
 	StripesScanned     int
 	PatchesApplied     int
 	NVRAMRecords       int
-	RecordsRejected    int      // malformed NVRAM records skipped by replay
+	RecordsRejected    int // malformed NVRAM records skipped by replay
+	LostShardsMarked   int // swapped-in shards found garbage (rebuild was mid-copy)
 	ScanTime           sim.Time // the AU/stripe scan alone
 	TotalTime          sim.Time
 }
@@ -222,7 +224,7 @@ func OpenAt(cfg Config, sh *shelf.Shelf, at sim.Time, fullScan bool) (*Array, Re
 	// NVRAM records reference segments too — and replay itself opens new
 	// segments, so every referenced ID must be reserved before the first
 	// record is applied.
-	records := sh.NVRAM(0).Records()
+	records := replayRecords(sh)
 	for _, rec := range records {
 		if len(rec.Payload) == 0 {
 			continue
@@ -245,6 +247,10 @@ func OpenAt(cfg Config, sh *shelf.Shelf, at sim.Time, fullScan bool) (*Array, Re
 			case relation.IDSegments:
 				for _, f := range facts {
 					bumpSeg(relation.SegmentFromFact(f).Segment)
+				}
+			case relation.IDSegmentAUs:
+				for _, f := range facts {
+					bumpSeg(relation.SegmentAUFromFact(f).Segment)
 				}
 			}
 		case recWrite:
@@ -282,6 +288,75 @@ func OpenAt(cfg Config, sh *shelf.Shelf, at sim.Time, fullScan bool) (*Array, Re
 	}
 	a.crash.Hit("recover.replayed")
 	a.persistedSeq = a.seqs.Current()
+
+	// 7b. Rebuild AU swaps. A rebuild commits each shard's SegmentAUs fact
+	// through NVRAM *before* copying data (fact-first), so the latest fact
+	// per (segment, shard) is the authority on placement, superseding both
+	// the checkpoint and the AU trailers (which still describe the
+	// pre-rebuild layout). If the crash landed between fact and data copy,
+	// the swapped-in AU holds garbage — verified reads detect that against
+	// the surviving shards' trailer CRCs, reconstruct, and repair in
+	// place; re-running the rebuild completes the copy. AUs displaced by a
+	// swap are erased and freed here, exactly as a finished rebuild would
+	// have done.
+	var staleAUs []layout.AU
+	type swap struct {
+		id   layout.SegmentID
+		slot int
+	}
+	var swaps []swap
+	if _, err := a.pyr[relation.IDSegmentAUs].Scan(done, nil, nil, func(f tuple.Fact) bool {
+		row := relation.SegmentAUFromFact(f)
+		info, ok := a.segMap[layout.SegmentID(row.Segment)]
+		if !ok || int(row.Shard) >= len(info.AUs) {
+			return true
+		}
+		newAU := layout.AU{Drive: int(row.Drive), Index: int64(row.AUIndex)}
+		old := info.AUs[row.Shard]
+		if old == newAU {
+			return true
+		}
+		info.AUs = append([]layout.AU(nil), info.AUs...)
+		info.AUs[row.Shard] = newAU
+		a.segMap[info.ID] = info
+		a.alloc.MarkInUse([]layout.AU{newAU})
+		staleAUs = append(staleAUs, old)
+		swaps = append(swaps, swap{info.ID, int(row.Shard)})
+		return true
+	}); err != nil {
+		return nil, rs, err
+	}
+	// CRC-check each swapped-in shard: if the crash hit between the fact
+	// and the data copy it holds garbage, so re-mark it lost — reads then
+	// serve it from parity and the next Rebuild pass finishes the copy.
+	for _, sw := range swaps {
+		info := a.segMap[sw.id]
+		intact, d := a.reader.VerifyShard(done, info, sw.slot)
+		done = d
+		if !intact {
+			a.setShardLost(sw.id, sw.slot, true)
+			rs.LostShardsMarked++
+		}
+	}
+	if len(staleAUs) > 0 {
+		owned := map[layout.AU]bool{}
+		for _, info := range a.segMap {
+			for _, au := range info.AUs {
+				owned[au] = true
+			}
+		}
+		for _, au := range staleAUs {
+			if owned[au] {
+				continue
+			}
+			if drv := sh.Drive(au.Drive); !drv.Failed() {
+				if d, err := drv.Erase(done, au.Offset(cfg.Layout)); err == nil && d > done {
+					done = d
+				}
+			}
+			a.alloc.Free([]layout.AU{au})
+		}
+	}
 
 	// Medium and volume IDs are never reused either: facts created after
 	// the checkpoint (recovered from NVRAM or patches) may carry IDs past
@@ -398,6 +473,29 @@ func OpenAt(cfg Config, sh *shelf.Shelf, at sim.Time, fullScan bool) (*Array, Re
 
 	rs.TotalTime = done - at
 	return a, rs, nil
+}
+
+// replayRecords picks the NVRAM device to replay: the surviving device
+// whose log reaches furthest. Commits append to every healthy device before
+// acking and checkpoints release them together, so the mirrors hold
+// identical same-order prefixes — the longest log is a superset of every
+// other, and no acknowledged record is lost even with one device dead.
+func replayRecords(sh *shelf.Shelf) []nvram.Record {
+	best := -1
+	var bestHead nvram.LSN
+	for i := 0; i < sh.NumNVRAM(); i++ {
+		nv := sh.NVRAM(i)
+		if nv.Failed() {
+			continue
+		}
+		if head := nv.Head(); best < 0 || head > bestHead {
+			best, bestHead = i, head
+		}
+	}
+	if best < 0 {
+		return nil // every NVRAM device lost: recover from checkpoint alone
+	}
+	return sh.NVRAM(best).Records()
 }
 
 // applyElideFact materializes one persisted elide predicate.

@@ -41,6 +41,20 @@ type StatsSnapshot struct {
 	SegReadErrors       int64
 	UnpackErrors        int64
 
+	// Drive-failure lifecycle (§4.2, §5.1): scrub progress and in-place
+	// repairs, drive replacements, and rebuild work.
+	ScrubPasses      int64
+	ScrubSegments    int64
+	ScrubWUsRepaired int64
+	DriveReplaces    int64
+	Rebuilds         int64
+	RebuildSegments  int64
+	RebuildBytes     int64
+	// DriveStates mirrors the shelf's health state machine, indexed by
+	// drive; LostShards counts shards currently served from parity.
+	DriveStates []string
+	LostShards  int
+
 	Segments    int
 	FrontierAUs int
 	FreeAUs     int64
@@ -81,6 +95,15 @@ func (a *Array) Stats() StatsSnapshot {
 		SpeculativePromotes: a.stats.SpeculativePromotes,
 		SegReadErrors:       a.stats.SegReadErrors.Load(),
 		UnpackErrors:        a.stats.UnpackErrors.Load(),
+		ScrubPasses:         a.stats.ScrubPasses,
+		ScrubSegments:       a.stats.ScrubSegments,
+		ScrubWUsRepaired:    a.stats.ScrubWUsRepaired,
+		DriveReplaces:       a.stats.DriveReplaces,
+		Rebuilds:            a.stats.Rebuilds,
+		RebuildSegments:     a.stats.RebuildSegments,
+		RebuildBytes:        a.stats.RebuildBytes,
+		DriveStates:         a.driveStates(),
+		LostShards:          a.lostShardCount(),
 		Segments:            len(a.segMap),
 		ProvisionedBytes:    a.provisionedLocked(),
 		FrontierAUs:         a.alloc.FrontierSize(),
@@ -89,6 +112,27 @@ func (a *Array) Stats() StatsSnapshot {
 		NVRAMUsed:           a.shelf.NVRAM(0).Used(),
 		NVRAMAppends:        a.shelf.NVRAM(0).Appends(),
 	}
+}
+
+// driveStates renders the shelf's health state machine for snapshots.
+func (a *Array) driveStates() []string {
+	states := a.shelf.States()
+	out := make([]string, len(states))
+	for i, s := range states {
+		out[i] = s.String()
+	}
+	return out
+}
+
+// lostShardCount counts shards currently marked lost (served from parity).
+func (a *Array) lostShardCount() int {
+	a.lostMu.Lock()
+	defer a.lostMu.Unlock()
+	n := 0
+	for _, m := range a.lost {
+		n += len(m)
+	}
+	return n
 }
 
 // PhysicalCapacity returns the shelf's raw capacity in bytes.

@@ -258,6 +258,21 @@ func (a *Allocator) AllocateSegment(failed func(drive int) bool) ([]AU, error) {
 	return aus, nil
 }
 
+// AllocateOn pops the lowest-indexed free AU on the given drive, bypassing
+// the frontier. Rebuild uses it to place reconstructed shards on a chosen
+// drive (normally the replacement); durability comes from the segment-AU
+// swap fact the caller commits, not from the frontier set.
+func (a *Allocator) AllocateOn(drive int) (AU, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if drive < 0 || drive >= len(a.free) || len(a.free[drive]) == 0 {
+		return AU{}, ErrNoSpace
+	}
+	au := AU{Drive: drive, Index: a.free[drive][0]}
+	a.free[drive] = a.free[drive][1:]
+	return au, nil
+}
+
 // Free returns AUs to the free pool (after GC has dropped their segment and
 // the engine erased them).
 func (a *Allocator) Free(aus []AU) {

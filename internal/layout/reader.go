@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 
 	"purity/internal/erasure"
 	"purity/internal/sim"
@@ -15,12 +16,17 @@ import (
 var ErrUnrecoverable = errors.New("layout: too few readable shards to reconstruct")
 
 // ReadStats counts how a read was served, feeding experiment E2 (the
-// paper's ≈1.3× read-cost model for write-heavy workloads).
+// paper's ≈1.3× read-cost model for write-heavy workloads) and the
+// fault-tolerance telemetry.
 type ReadStats struct {
-	DirectShardReads   int64 // shard ranges read from their home drive
+	DirectShardReads   int64 // shard ranges read (and verified) from their home drive
 	ReconstructedReads int64 // shard ranges rebuilt from peers
 	ShardBytesRead     int64 // total bytes moved from drives
 	BusyAvoided        int64 // reconstructions triggered by the busy-drive policy
+	CRCMismatches      int64 // write units whose content failed the trailer CRC
+	InlineRepairs      int64 // damaged write units rewritten in place after reconstruction
+	HomeReadErrors     int64 // read errors from a live (not Failed) home drive
+	HomeRetries        int64 // home-drive fallback retries after reconstruction failed
 }
 
 // Add accumulates other into s.
@@ -29,21 +35,88 @@ func (s *ReadStats) Add(other ReadStats) {
 	s.ReconstructedReads += other.ReconstructedReads
 	s.ShardBytesRead += other.ShardBytesRead
 	s.BusyAvoided += other.BusyAvoided
+	s.CRCMismatches += other.CRCMismatches
+	s.InlineRepairs += other.InlineRepairs
+	s.HomeReadErrors += other.HomeReadErrors
+	s.HomeRetries += other.HomeRetries
 }
 
 // Reader serves segment-logical reads, reconstructing from parity when a
 // drive is failed, corrupt, or — under the avoidBusy policy — busy
 // programming (§4.4: "treat SSDs that are in the process of writing data as
-// though they have failed").
+// though they have failed"). With cfg.VerifyReads, every write unit served
+// from a sealed segment is additionally checked against the trailer CRCs,
+// so silently flipped bits are detected, reconstructed around, and repaired
+// in place.
 type Reader struct {
 	cfg    Config
 	drives []*ssd.Device
 	coder  *erasure.Coder
+
+	mu       sync.Mutex
+	crcCache map[SegmentID][][]uint32 // sealed segments' WUCRCs, from any shard's trailer
+	// shardLost, when set, reports shards whose current AU holds no valid
+	// data yet (a rebuild target mid-reconstruction). Such shards are read
+	// via peers, never from the home AU.
+	shardLost func(id SegmentID, slot int) bool
 }
 
 // NewReader returns a reader over the drive set.
 func NewReader(cfg Config, drives []*ssd.Device, coder *erasure.Coder) *Reader {
-	return &Reader{cfg: cfg, drives: drives, coder: coder}
+	return &Reader{cfg: cfg, drives: drives, coder: coder, crcCache: make(map[SegmentID][][]uint32)}
+}
+
+// SetShardLost installs the engine's lost-shard oracle (nil disables it).
+func (r *Reader) SetShardLost(f func(id SegmentID, slot int) bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.shardLost = f
+}
+
+func (r *Reader) isLost(id SegmentID, slot int) bool {
+	r.mu.Lock()
+	f := r.shardLost
+	r.mu.Unlock()
+	return f != nil && f(id, slot)
+}
+
+// InvalidateSegment drops a segment's cached trailer CRCs. The engine calls
+// it when a segment is retired (GC) so the cache cannot outlive the data.
+func (r *Reader) InvalidateSegment(id SegmentID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.crcCache, id)
+}
+
+// segmentCRCs returns the [stripe][slot] write-unit CRCs of a sealed
+// segment, reading one shard's AU trailer on first use. Any surviving
+// shard's trailer serves (they are replicated); nil means no trailer was
+// readable, in which case the caller falls back to unverified reads.
+func (r *Reader) segmentCRCs(at sim.Time, info SegmentInfo) ([][]uint32, sim.Time) {
+	r.mu.Lock()
+	if crcs, ok := r.crcCache[info.ID]; ok {
+		r.mu.Unlock()
+		return crcs, at
+	}
+	r.mu.Unlock()
+	done := at
+	for slot := range info.AUs {
+		if r.isLost(info.ID, slot) {
+			continue
+		}
+		t, d, err := r.ReadAUTrailer(at, info.AUs[slot])
+		if d > done {
+			done = d
+		}
+		if err != nil || t.Segment != info.ID {
+			continue
+		}
+		r.mu.Lock()
+		r.crcCache[info.ID] = t.WUCRCs
+		r.mu.Unlock()
+		return t.WUCRCs, done
+	}
+	return nil, done
 }
 
 // ReadRange reads n logical bytes at offset off within the segment. The
@@ -111,35 +184,184 @@ func (r *Reader) readWithinStripe(at sim.Time, info SegmentInfo, s int, within i
 
 // readShardRange reads [shardOff, shardOff+len(dst)) of the write unit that
 // slot holds in stripe s, reconstructing if the home drive is unavailable.
+// Sealed segments take the verified path when cfg.VerifyReads is on and a
+// trailer is readable; everything else (unsealed segments, trailer loss)
+// uses the unverified fast path.
 func (r *Reader) readShardRange(at sim.Time, info SegmentInfo, s, slot int, shardOff int64, dst []byte, avoidBusy bool, stats *ReadStats) (sim.Time, error) {
+	if r.cfg.VerifyReads && info.Sealed {
+		crcs, tAt := r.segmentCRCs(at, info)
+		if s < len(crcs) && slot < len(crcs[s]) {
+			return r.readShardVerified(tAt, info, s, slot, shardOff, dst, avoidBusy, crcs[s][slot], stats)
+		}
+	}
+
 	au := info.AUs[slot]
 	drive := r.drives[au.Drive]
 	devOff := au.Offset(r.cfg) + int64(s)*int64(r.cfg.WriteUnit) + shardOff
 
+	lost := r.isLost(info.ID, slot)
 	busy := avoidBusy && drive.BusyRangeAt(at, devOff, len(dst))
-	if !busy && !drive.Failed() {
+	if !lost && !busy && !drive.Failed() {
 		done, err := drive.ReadAt(at, dst, devOff)
 		if err == nil {
 			stats.DirectShardReads++
 			stats.ShardBytesRead += int64(len(dst))
 			return done, nil
 		}
+		stats.HomeReadErrors++
 	}
 	if busy {
 		stats.BusyAvoided++
 	}
 	done, err := r.reconstructShardRange(at, info, s, slot, shardOff, dst, stats)
-	if err != nil && !drive.Failed() {
+	if err != nil && !lost && !drive.Failed() {
 		// Reconstruction impossible (too many peers failed or busy) but the
 		// home drive is merely slow: queue behind its program and read it.
+		stats.HomeRetries++
 		d2, err2 := drive.ReadAt(at, dst, devOff)
 		if err2 == nil {
 			stats.DirectShardReads++
 			stats.ShardBytesRead += int64(len(dst))
 			return d2, nil
 		}
+		stats.HomeReadErrors++
 	}
 	return done, err
+}
+
+// readShardVerified serves a shard range of a sealed segment with
+// end-to-end integrity: the home write unit is read whole and checked
+// against wantCRC from the AU trailer. A mismatch (bit rot) or read error
+// (bad block) is treated as a missing shard — the write unit is
+// reconstructed from verified peers, the caller's range served from the
+// reconstruction, and the damaged copy rewritten in place on the home
+// drive so the next read is clean again.
+func (r *Reader) readShardVerified(at sim.Time, info SegmentInfo, s, slot int, shardOff int64, dst []byte, avoidBusy bool, wantCRC uint32, stats *ReadStats) (sim.Time, error) {
+	au := info.AUs[slot]
+	drive := r.drives[au.Drive]
+	wuOff := au.Offset(r.cfg) + int64(s)*int64(r.cfg.WriteUnit)
+
+	lost := r.isLost(info.ID, slot)
+	busy := avoidBusy && drive.BusyRangeAt(at, wuOff+shardOff, len(dst))
+	needRepair := false
+	if !lost && !busy && !drive.Failed() {
+		wu := make([]byte, r.cfg.WriteUnit)
+		done, err := drive.ReadAt(at, wu, wuOff)
+		if err == nil {
+			stats.ShardBytesRead += int64(len(wu))
+			if crcOf(wu) == wantCRC {
+				stats.DirectShardReads++
+				copy(dst, wu[shardOff:shardOff+int64(len(dst))])
+				return done, nil
+			}
+			stats.CRCMismatches++
+			needRepair = true
+		} else {
+			stats.HomeReadErrors++
+			needRepair = true
+		}
+	}
+	if busy {
+		stats.BusyAvoided++
+	}
+	wu, done, err := r.ReconstructWU(at, info, s, slot, stats)
+	if err != nil {
+		if busy && !drive.Failed() {
+			// Reconstruction impossible but the home drive is merely slow:
+			// queue behind its program and read (still verified).
+			stats.HomeRetries++
+			buf := make([]byte, r.cfg.WriteUnit)
+			d2, err2 := drive.ReadAt(at, buf, wuOff)
+			if err2 == nil {
+				stats.ShardBytesRead += int64(len(buf))
+				if crcOf(buf) == wantCRC {
+					stats.DirectShardReads++
+					copy(dst, buf[shardOff:shardOff+int64(len(dst))])
+					return d2, nil
+				}
+				stats.CRCMismatches++
+			} else {
+				stats.HomeReadErrors++
+			}
+		}
+		return done, err
+	}
+	stats.ReconstructedReads++
+	copy(dst, wu[shardOff:shardOff+int64(len(dst))])
+	if needRepair {
+		// Inline repair: overwrite the damaged write unit with the
+		// reconstruction. The FTL relocates the pages (clearing any bad
+		// mapping), so the AU heals without segment evacuation. Failure is
+		// tolerable — scrub or the next read will retry.
+		if _, werr := drive.WriteAt(done, wu, wuOff); werr == nil {
+			stats.InlineRepairs++
+		}
+	}
+	return done, nil
+}
+
+// ReconstructWU rebuilds the full write unit of shard `slot` in stripe s
+// from K surviving peers. When the segment's trailer CRCs are available,
+// each donor write unit is verified before use and the reconstruction is
+// verified after — a donor with silent damage is skipped like a failed
+// drive, and a reconstruction that cannot be proven correct is an error
+// rather than wrong data. Scrub and rebuild share this path with the
+// verified foreground read.
+func (r *Reader) ReconstructWU(at sim.Time, info SegmentInfo, s, slot int, stats *ReadStats) ([]byte, sim.Time, error) {
+	k, m := r.cfg.DataShards, r.cfg.ParityShards
+	dataSlot, paritySlot := stripeSlots(r.cfg, s)
+	coderIdx := make([]int, k+m)
+	for d, sl := range dataSlot {
+		coderIdx[sl] = d
+	}
+	for j, sl := range paritySlot {
+		coderIdx[sl] = k + j
+	}
+
+	var crcRow []uint32
+	if crcs, _ := r.segmentCRCs(at, info); s < len(crcs) {
+		crcRow = crcs[s]
+	}
+
+	shards := make([][]byte, k+m)
+	done := at
+	got := 0
+	for sl := 0; sl < k+m && got < k; sl++ {
+		if sl == slot || r.isLost(info.ID, sl) {
+			continue
+		}
+		au := info.AUs[sl]
+		drive := r.drives[au.Drive]
+		if drive.Failed() {
+			continue
+		}
+		buf := make([]byte, r.cfg.WriteUnit)
+		t, err := drive.ReadAt(at, buf, au.Offset(r.cfg)+int64(s)*int64(r.cfg.WriteUnit))
+		if err != nil {
+			continue // corrupt or newly failed donor: try the next
+		}
+		stats.ShardBytesRead += int64(len(buf))
+		if sl < len(crcRow) && crcOf(buf) != crcRow[sl] {
+			stats.CRCMismatches++
+			continue // silently damaged donor: as good as failed
+		}
+		shards[coderIdx[sl]] = buf
+		got++
+		if t > done {
+			done = t
+		}
+	}
+	if got < k {
+		return nil, done, ErrUnrecoverable
+	}
+	if err := r.coder.Reconstruct(shards); err != nil {
+		return nil, done, err
+	}
+	wu := shards[coderIdx[slot]]
+	if slot < len(crcRow) && crcOf(wu) != crcRow[slot] {
+		return nil, done, ErrUnrecoverable
+	}
+	return wu, done, nil
 }
 
 // reconstructShardRange rebuilds the wanted range of shard `slot` from K of
@@ -271,6 +493,120 @@ func withStripes(info SegmentInfo, n int) SegmentInfo {
 		info.Stripes = n
 	}
 	return info
+}
+
+// ScrubStripe verifies every shard write unit of stripe s of a sealed
+// segment against the trailer CRCs — using the segment's *current*
+// placement (info.AUs), which may postdate the trailer after a rebuild —
+// and repairs mismatched or unreadable units in place via reconstruction.
+// Lost shards and failed drives are skipped (rebuild's job, not scrub's).
+// Returns how many units were found bad and how many of those were
+// repaired.
+func (r *Reader) ScrubStripe(at sim.Time, info SegmentInfo, s int, stats *ReadStats) (bad, repaired int, done sim.Time) {
+	crcs, done := r.segmentCRCs(at, info)
+	if s >= len(crcs) {
+		return 0, 0, done // no CRC row: nothing to verify against
+	}
+	for slot := range info.AUs {
+		if slot >= len(crcs[s]) || r.isLost(info.ID, slot) {
+			continue
+		}
+		au := info.AUs[slot]
+		drive := r.drives[au.Drive]
+		if drive.Failed() {
+			continue
+		}
+		wuOff := au.Offset(r.cfg) + int64(s)*int64(r.cfg.WriteUnit)
+		buf := make([]byte, r.cfg.WriteUnit)
+		d, err := drive.ReadAt(done, buf, wuOff)
+		if d > done {
+			done = d
+		}
+		if err == nil {
+			stats.ShardBytesRead += int64(len(buf))
+			if crcOf(buf) == crcs[s][slot] {
+				continue
+			}
+			stats.CRCMismatches++
+		} else {
+			stats.HomeReadErrors++
+		}
+		bad++
+		wu, d2, rerr := r.ReconstructWU(done, info, s, slot, stats)
+		if d2 > done {
+			done = d2
+		}
+		if rerr != nil {
+			continue // not recoverable right now; a later pass may succeed
+		}
+		if _, werr := drive.WriteAt(done, wu, wuOff); werr == nil {
+			stats.InlineRepairs++
+			repaired++
+		}
+	}
+	return bad, repaired, done
+}
+
+// VerifyShard reports whether every write unit of shard `slot` in its
+// current AU matches the segment's trailer CRCs. Rebuild uses it to make
+// resumption idempotent: a shard whose swapped-in AU already verifies was
+// fully copied before the crash and needs no second pass.
+func (r *Reader) VerifyShard(at sim.Time, info SegmentInfo, slot int) (bool, sim.Time) {
+	crcs, done := r.segmentCRCs(at, info)
+	if len(crcs) < info.Stripes {
+		return false, done
+	}
+	au := info.AUs[slot]
+	drive := r.drives[au.Drive]
+	if drive.Failed() {
+		return false, done
+	}
+	buf := make([]byte, r.cfg.WriteUnit)
+	for s := 0; s < info.Stripes; s++ {
+		if slot >= len(crcs[s]) {
+			return false, done
+		}
+		d, err := drive.ReadAt(done, buf, au.Offset(r.cfg)+int64(s)*int64(r.cfg.WriteUnit))
+		if d > done {
+			done = d
+		}
+		if err != nil || crcOf(buf) != crcs[s][slot] {
+			return false, done
+		}
+	}
+	return true, done
+}
+
+// RewriteShard populates the AU `au` on `drive` with one shard of a sealed
+// segment: the write units wus[s] for each stripe, written in order so the
+// drive sees a pure sequential append, followed by the shard's AU trailer.
+// Rebuild uses it to place a reconstructed shard on a replacement drive;
+// the caller supplies a trailer whose Shard/AUs fields reflect the new
+// placement.
+func RewriteShard(at sim.Time, cfg Config, drive *ssd.Device, au AU, t AUTrailer, wus [][]byte) (sim.Time, error) {
+	done := at
+	base := au.Offset(cfg)
+	for s, wu := range wus {
+		d, err := drive.WriteAt(done, wu, base+int64(s)*int64(cfg.WriteUnit))
+		if err != nil {
+			return d, err
+		}
+		if d > done {
+			done = d
+		}
+	}
+	page, err := marshalAUTrailer(cfg, t)
+	if err != nil {
+		return done, err
+	}
+	d, err := drive.WriteAt(done, page, base+int64(cfg.StripesPerAU)*int64(cfg.WriteUnit))
+	if err != nil {
+		return d, err
+	}
+	if d > done {
+		done = d
+	}
+	return done, nil
 }
 
 // VerifyStripe re-reads every write unit of stripe s and checks it against

@@ -41,6 +41,7 @@ func DefaultConfig() Config {
 var (
 	ErrFull     = errors.New("nvram: log full")
 	ErrTooLarge = errors.New("nvram: record exceeds capacity")
+	ErrFailed   = errors.New("nvram: device failed")
 )
 
 // LSN identifies a record in the log. LSNs are dense and increase by one per
@@ -62,6 +63,7 @@ type Device struct {
 	cfg Config
 
 	mu      sync.Mutex
+	failed  bool
 	records [][]byte // live records, records[0] has LSN base
 	base    LSN
 	used    int64
@@ -84,6 +86,9 @@ func New(cfg Config) (*Device, error) {
 func (d *Device) Append(at sim.Time, payload []byte) (LSN, sim.Time, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if d.failed {
+		return 0, at, ErrFailed
+	}
 	need := int64(len(payload)) + recordOverhead
 	if need > d.cfg.Capacity {
 		return 0, at, ErrTooLarge
@@ -165,6 +170,30 @@ func (d *Device) Appends() int64 {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.appends
+}
+
+// Fail takes the device offline: appends return ErrFailed until Revive. The
+// log contents are preserved (losing an NVRAM device does not scramble its
+// flash), but the commit path must stop relying on it — the redundant pair
+// exists exactly for this.
+func (d *Device) Fail() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.failed = true
+}
+
+// Revive brings a failed device back online.
+func (d *Device) Revive() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.failed = false
+}
+
+// Failed reports whether the device is offline.
+func (d *Device) Failed() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.failed
 }
 
 // Marshal serializes the live log into a flat image with per-record CRC

@@ -11,10 +11,38 @@ package shelf
 
 import (
 	"fmt"
+	"sync"
 
 	"purity/internal/nvram"
 	"purity/internal/ssd"
 )
+
+// DriveState is one drive bay's position in the health lifecycle:
+// healthy → (pull/fail) → failed → (Replace) → rebuilding → (rebuild
+// completes) → healthy. The state machine lives on the shelf because it
+// describes the bay, not the device: Replace swaps a fresh device into the
+// same slot.
+type DriveState int
+
+const (
+	DriveHealthy DriveState = iota
+	DriveFailed
+	DriveRebuilding
+)
+
+// String returns the state name.
+func (s DriveState) String() string {
+	switch s {
+	case DriveHealthy:
+		return "healthy"
+	case DriveFailed:
+		return "failed"
+	case DriveRebuilding:
+		return "rebuilding"
+	default:
+		return fmt.Sprintf("DriveState(%d)", int(s))
+	}
+}
 
 // Config describes a shelf.
 type Config struct {
@@ -38,6 +66,11 @@ func DefaultConfig() Config {
 type Shelf struct {
 	drives []*ssd.Device
 	nvrams []*nvram.Device
+
+	mu       sync.Mutex
+	states   []DriveState
+	replaced []int // per-slot replacement count, for seed derivation
+	baseCfg  ssd.Config
 }
 
 // New builds a shelf with cfg.Drives SSDs and cfg.NVRAM NVRAM devices.
@@ -49,7 +82,11 @@ func New(cfg Config) (*Shelf, error) {
 	if cfg.NVRAM <= 0 {
 		return nil, fmt.Errorf("shelf: need at least one NVRAM device, got %d", cfg.NVRAM)
 	}
-	s := &Shelf{}
+	s := &Shelf{
+		states:   make([]DriveState, cfg.Drives),
+		replaced: make([]int, cfg.Drives),
+		baseCfg:  cfg.DriveConfig,
+	}
 	for i := 0; i < cfg.Drives; i++ {
 		dc := cfg.DriveConfig
 		dc.Seed = dc.Seed*1000003 + uint64(i) + 1
@@ -91,6 +128,9 @@ func (s *Shelf) PullDrive(i int) error {
 		return fmt.Errorf("shelf: no drive %d", i)
 	}
 	s.drives[i].Fail()
+	s.mu.Lock()
+	s.states[i] = DriveFailed
+	s.mu.Unlock()
 	return nil
 }
 
@@ -100,7 +140,70 @@ func (s *Shelf) ReinsertDrive(i int) error {
 		return fmt.Errorf("shelf: no drive %d", i)
 	}
 	s.drives[i].Revive()
+	s.mu.Lock()
+	s.states[i] = DriveHealthy
+	s.mu.Unlock()
 	return nil
+}
+
+// Replace swaps a fresh blank device into bay i (a technician inserting a
+// replacement for a pulled drive) and marks the bay rebuilding. The swap is
+// in place within the shared drive slice, so every component holding the
+// slice — reader, writers, boot region — sees the new device; callers
+// serialize the swap against I/O (the engine does it under its lock).
+// Rebuild is the caller's job; MarkHealthy completes the lifecycle.
+func (s *Shelf) Replace(i int) (*ssd.Device, error) {
+	if i < 0 || i >= len(s.drives) {
+		return nil, fmt.Errorf("shelf: no drive %d", i)
+	}
+	s.mu.Lock()
+	if s.states[i] != DriveFailed {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("shelf: drive %d is %v, not failed", i, s.states[i])
+	}
+	s.replaced[i]++
+	gen := s.replaced[i]
+	s.mu.Unlock()
+
+	dc := s.baseCfg
+	dc.Seed = dc.Seed*1000003 + uint64(i) + 1 + uint64(gen)*7368787
+	d, err := ssd.New(fmt.Sprintf("ssd%d.%d", i, gen), dc)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.drives[i] = d
+	s.states[i] = DriveRebuilding
+	s.mu.Unlock()
+	return d, nil
+}
+
+// MarkHealthy records that bay i has returned to full redundancy (rebuild
+// complete).
+func (s *Shelf) MarkHealthy(i int) {
+	if i < 0 || i >= len(s.drives) {
+		return
+	}
+	s.mu.Lock()
+	s.states[i] = DriveHealthy
+	s.mu.Unlock()
+}
+
+// State returns bay i's health state.
+func (s *Shelf) State(i int) DriveState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if i < 0 || i >= len(s.states) {
+		return DriveHealthy
+	}
+	return s.states[i]
+}
+
+// States returns a snapshot of every bay's health state.
+func (s *Shelf) States() []DriveState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]DriveState(nil), s.states...)
 }
 
 // FailedDrives returns the indexes of drives currently offline.
@@ -135,6 +238,7 @@ func (s *Shelf) AggregateStats() ssd.Stats {
 		agg.RandomWrites += st.RandomWrites
 		agg.StalledReads += st.StalledReads
 		agg.BadBlocks += st.BadBlocks
+		agg.BitFlips += st.BitFlips
 		if st.MaxWear > agg.MaxWear {
 			agg.MaxWear = st.MaxWear
 		}

@@ -56,7 +56,14 @@ type Config struct {
 	PELimit         int
 	WearFailureProb float64 // per-erase probability once past PELimit
 
-	Seed uint64 // RNG seed for wear failures
+	// BitFlipRate is the per-program probability (per touched erase block)
+	// of a single silent bit flip in the just-written data — the latent
+	// errors that slip past drive-internal ECC (§5.1). Unlike a bad block,
+	// the drive returns the flipped data without error; only end-to-end
+	// CRCs above catch it. Zero disables injection.
+	BitFlipRate float64
+
+	Seed uint64 // RNG seed for wear failures and bit flips
 }
 
 // DefaultConfig returns the scaled-down drive the test suite and benchmarks
@@ -100,6 +107,7 @@ type Stats struct {
 	StalledReads      int64 // reads that queued behind a program/erase
 	MaxWear           int   // highest per-block P/E count
 	BadBlocks         int
+	BitFlips          int64 // silent bit flips injected (BitFlipRate + FlipBit)
 }
 
 // dieState tracks one die's current contiguous busy period. Operations
@@ -122,13 +130,14 @@ type Device struct {
 	cfg Config
 	id  string
 
-	mu     sync.Mutex
-	failed bool
-	data   map[int64][]byte // erase-block index -> contents (lazily allocated)
-	blocks []eraseBlock
-	dies   []dieState
-	rng    *sim.Rand
-	stats  Stats
+	mu      sync.Mutex
+	failed  bool
+	data    map[int64][]byte // erase-block index -> contents (lazily allocated)
+	blocks  []eraseBlock
+	dies    []dieState
+	rng     *sim.Rand
+	flipRng *sim.Rand // separate stream so wear failures stay reproducible
+	stats   Stats
 }
 
 // New returns a device with the given id and configuration.
@@ -153,12 +162,13 @@ func New(id string, cfg Config) (*Device, error) {
 	}
 	nBlocks := cfg.Capacity / int64(cfg.EraseBlockSize)
 	return &Device{
-		cfg:    cfg,
-		id:     id,
-		data:   make(map[int64][]byte),
-		blocks: make([]eraseBlock, nBlocks),
-		dies:   make([]dieState, cfg.Dies),
-		rng:    sim.NewRand(cfg.Seed),
+		cfg:     cfg,
+		id:      id,
+		data:    make(map[int64][]byte),
+		blocks:  make([]eraseBlock, nBlocks),
+		dies:    make([]dieState, cfg.Dies),
+		rng:     sim.NewRand(cfg.Seed),
+		flipRng: sim.NewRand(cfg.Seed*2654435761 + 0x5f1d), // independent stream
 	}, nil
 }
 
@@ -299,6 +309,14 @@ func (d *Device) WriteAt(at sim.Time, p []byte, off int64) (sim.Time, error) {
 			d.data[bi] = chunk
 		}
 		copy(chunk[blockOff:], remaining[:n])
+		if d.cfg.BitFlipRate > 0 && d.flipRng.Float64() < d.cfg.BitFlipRate {
+			// Latent error: flip one bit somewhere in the bytes just
+			// programmed into this block. Silent — the read path returns
+			// the damaged data without ErrCorrupt.
+			at := blockOff + int64(d.flipRng.Intn(int(n)))
+			chunk[at] ^= 1 << (d.flipRng.Intn(8))
+			d.stats.BitFlips++
+		}
 		if end := blockOff + n; end > b.written {
 			b.written = end
 		}
@@ -507,6 +525,26 @@ func (d *Device) CorruptBlock(off int64) {
 		d.blocks[bi].bad = true
 		d.stats.BadBlocks++
 	}
+}
+
+// FlipBit deterministically flips one bit of the byte at off — the test
+// hook for injecting a single latent error at a known location. Like
+// BitFlipRate damage, the flip is silent: reads succeed and return the
+// damaged byte.
+func (d *Device) FlipBit(off int64, bit uint) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if off < 0 || off >= d.cfg.Capacity {
+		return
+	}
+	bi := d.blockIndex(off)
+	chunk, ok := d.data[bi]
+	if !ok {
+		chunk = make([]byte, d.cfg.EraseBlockSize)
+		d.data[bi] = chunk
+	}
+	chunk[off%int64(d.cfg.EraseBlockSize)] ^= 1 << (bit % 8)
+	d.stats.BitFlips++
 }
 
 // Stats returns a snapshot of the drive's counters.

@@ -362,3 +362,69 @@ func BenchmarkWrite128KiB(b *testing.B) {
 		}
 	}
 }
+
+func TestFlipBitIsSilentAndCounted(t *testing.T) {
+	d := newDevice(t)
+	data := make([]byte, 8192)
+	sim.NewRand(5).Bytes(data)
+	if _, err := d.WriteAt(0, data, 0); err != nil {
+		t.Fatal(err)
+	}
+	d.FlipBit(100, 3)
+	got := make([]byte, len(data))
+	if _, err := d.ReadAt(0, got, 0); err != nil {
+		t.Fatalf("flip must be silent, read returned %v", err)
+	}
+	for i := range got {
+		want := data[i]
+		if i == 100 {
+			want ^= 1 << 3
+		}
+		if got[i] != want {
+			t.Fatalf("byte %d = %#x, want %#x", i, got[i], want)
+		}
+	}
+	if n := d.Stats().BitFlips; n != 1 {
+		t.Fatalf("BitFlips = %d, want 1", n)
+	}
+	// Rewriting the range clears the damage — the repair path scrub uses.
+	if _, err := d.WriteAt(0, data, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.ReadAt(0, got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("rewrite did not clear the flipped bit")
+	}
+}
+
+func TestBitFlipRateInjectsLatentErrors(t *testing.T) {
+	cfg := testConfig()
+	cfg.BitFlipRate = 1.0 // every program flips one bit in the touched block
+	d, err := New("flaky", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 4096)
+	sim.NewRand(6).Bytes(data)
+	if _, err := d.WriteAt(0, data, 0); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if _, err := d.ReadAt(0, got, 0); err != nil {
+		t.Fatalf("latent error must be silent, read returned %v", err)
+	}
+	diff := 0
+	for i := range got {
+		for b := got[i] ^ data[i]; b != 0; b &= b - 1 {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("%d bits differ, want exactly 1", diff)
+	}
+	if n := d.Stats().BitFlips; n != 1 {
+		t.Fatalf("BitFlips = %d, want 1", n)
+	}
+}

@@ -192,14 +192,36 @@ func (a *Array) GC() (core.GCReport, error) {
 	return rep, err
 }
 
-// Scrub verifies all sealed segments against their checksums and rewrites
-// damaged ones.
+// Scrub walks all sealed segments, verifies every write unit against the
+// AU-trailer checksums, and repairs damaged ones in place from parity.
 func (a *Array) Scrub() (core.ScrubReport, error) {
 	var rep core.ScrubReport
 	err := a.step(func(at sim.Time) (sim.Time, error) {
 		var done sim.Time
 		var err error
 		rep, done, err = a.core.Scrub(at)
+		return done, err
+	})
+	return rep, err
+}
+
+// ReplaceDrive swaps a failed drive for a fresh device and marks every
+// shard it hosted as lost (served from parity until Rebuild). The shelf
+// slot must be in the failed state — use Shelf().PullDrive to fail it.
+func (a *Array) ReplaceDrive(drive int) error {
+	return a.step(func(at sim.Time) (sim.Time, error) {
+		return a.core.ReplaceDrive(at, drive)
+	})
+}
+
+// Rebuild reconstructs every shard lost with the given drive onto its
+// replacement, restoring full redundancy. Concurrent with foreground I/O.
+func (a *Array) Rebuild(drive int) (core.RebuildReport, error) {
+	var rep core.RebuildReport
+	err := a.step(func(at sim.Time) (sim.Time, error) {
+		var done sim.Time
+		var err error
+		rep, done, err = a.core.Rebuild(at, drive)
 		return done, err
 	})
 	return rep, err

@@ -149,3 +149,40 @@ func TestOptions(t *testing.T) {
 		t.Fatalf("options not applied: %+v", cfg)
 	}
 }
+
+func TestPublicDriveLifecycle(t *testing.T) {
+	a := smallArray(t)
+	vol, err := a.CreateVolume("survivor", 4<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 256<<10)
+	sim.NewRand(3).Bytes(data)
+	if err := vol.WriteAt(data, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Shelf().PullDrive(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.ReplaceDrive(2); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := a.Rebuild(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Unrecoverable != 0 {
+		t.Fatalf("rebuild report = %+v", rep)
+	}
+	st := a.Stats()
+	if st.LostShards != 0 || st.DriveStates[2] != "healthy" {
+		t.Fatalf("lost=%d drive2=%q after rebuild", st.LostShards, st.DriveStates[2])
+	}
+	got, err := vol.ReadAt(0, len(data))
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("data diverged after drive lifecycle: %v", err)
+	}
+}

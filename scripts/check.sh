@@ -18,11 +18,14 @@ go build ./...
 echo "== go test"
 go test ./...
 
-echo "== crash-consistency sweep (short; full sweep: purity-bench -experiment CS)"
+echo "== crash-consistency sweep (short, incl. rebuild fault points; full sweep: purity-bench -experiment CS)"
 go test -short -run 'TestCrashSweep|TestTornTailRecovery|TestCorruptTailRecovery|TestCrashDuringRecovery' ./internal/core/
+
+echo "== drive-failure lifecycle (scrub repair + online rebuild)"
+go test -run 'TestScrubRepairsAllInjectedCorruption|TestScrubStepPacedWalkerCoversEverything|TestRebuildRestoresRedundancyAndBootRegion|TestRebuildSurvivesSecondFailure|TestOpenAtWithOneNVRAMFailed' ./internal/core/
 
 echo "== go test -race (concurrency-bearing packages)"
 go test -race -short ./internal/pipeline/ ./internal/server/ ./internal/dedup/
-go test -race -short -run 'TestConcurrentWriters' ./internal/core/
+go test -race -short -run 'TestConcurrentWriters|TestConcurrentScrubRebuildForeground' ./internal/core/
 
 echo "ok: all checks passed"
