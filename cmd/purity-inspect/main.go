@@ -140,7 +140,7 @@ func inspectHealth(arr *core.Array) {
 		injected, srep.StripesVerified, srep.BadWriteUnits, srep.WriteUnitsRepaired)
 
 	const victim = 5
-	arr.Shelf().PullDrive(victim)
+	check(arr.Shelf().PullDrive(victim))
 	now, err = arr.ReplaceDrive(now, victim)
 	check(err)
 	rrep, now, err := arr.Rebuild(now, victim)

@@ -1,0 +1,86 @@
+// Command purity-lint runs the repo's invariant checker: five rules that
+// enforce the conventions Purity's correctness argument rests on — lock
+// annotations, immutable facts, crash-sweep coverage of durable writes,
+// no dropped errors, no debug prints. See internal/lint and the
+// "Machine-checked invariants" section of DESIGN.md.
+//
+// Usage:
+//
+//	go run ./cmd/purity-lint ./...
+//	go run ./cmd/purity-lint -rules lockcheck,factmut ./internal/core
+//
+// Exit status 0 when clean, 1 when any diagnostic survives suppression,
+// 2 on load or usage errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"purity/internal/lint"
+)
+
+func main() {
+	var (
+		ruleList = flag.String("rules", "", "comma-separated subset of rules to run (default: all)")
+		list     = flag.Bool("list", false, "list the available rules and exit")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: purity-lint [-rules r1,r2] [-list] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	rules := lint.DefaultRules()
+	if *list {
+		for _, r := range rules {
+			fmt.Printf("%-16s %s\n", r.Name(), r.Doc())
+		}
+		return
+	}
+	if *ruleList != "" {
+		byName := map[string]lint.Rule{}
+		for _, r := range rules {
+			byName[r.Name()] = r
+		}
+		rules = rules[:0]
+		for _, name := range strings.Split(*ruleList, ",") {
+			r, ok := byName[name]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "purity-lint: unknown rule %q\n", name)
+				os.Exit(2)
+			}
+			rules = append(rules, r)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "purity-lint: %v\n", err)
+		os.Exit(2)
+	}
+	prog, err := lint.Load(cwd, patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "purity-lint: %v\n", err)
+		os.Exit(2)
+	}
+	diags := lint.Run(prog, rules)
+	for _, d := range diags {
+		name := d.Pos.Filename
+		if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
+			name = rel
+		}
+		fmt.Printf("%s:%d: [%s] %s\n", name, d.Pos.Line, d.Rule, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Printf("purity-lint: %d problem(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

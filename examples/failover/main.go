@@ -47,8 +47,12 @@ func main() {
 
 	// Pull two drives mid-flight, as the paper invites evaluators to do.
 	pair.WarmSecondary()
-	arr.Shelf().PullDrive(3)
-	arr.Shelf().PullDrive(8)
+	if err := arr.Shelf().PullDrive(3); err != nil {
+		log.Fatal(err)
+	}
+	if err := arr.Shelf().PullDrive(8); err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("pulled drives 3 and 8 — reads now reconstruct from 7+2 parity")
 	got, now3, err := pair.ReadAt(now, controller.Primary, vol, 1<<20, 64<<10)
 	if err != nil {

@@ -247,11 +247,15 @@ func runE6(o Options) error {
 	if err := phase("healthy"); err != nil {
 		return err
 	}
-	arr.Shelf().PullDrive(2)
+	if err := arr.Shelf().PullDrive(2); err != nil {
+		return err
+	}
 	if err := phase("one drive pulled"); err != nil {
 		return err
 	}
-	arr.Shelf().PullDrive(7)
+	if err := arr.Shelf().PullDrive(7); err != nil {
+		return err
+	}
 	if err := phase("two drives pulled"); err != nil {
 		return err
 	}
@@ -268,16 +272,20 @@ func runE6(o Options) error {
 	}
 	fmt.Fprintf(w, "integrity: all reads served with two drives missing\n")
 
-	arr.Shelf().PullDrive(9)
+	if err := arr.Shelf().PullDrive(9); err != nil {
+		return err
+	}
 	res, err := workload.RunClosedLoop(arr, vol, volBytes, mix, 32, o.scale(1000, 300), now)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(w, "%-26s %8.0f IOPS   errors %d (3rd loss exceeds 7+2 parity, as designed)\n",
 		"three drives pulled", res.IOPS, res.Errors)
-	arr.Shelf().ReinsertDrive(2)
-	arr.Shelf().ReinsertDrive(7)
-	arr.Shelf().ReinsertDrive(9)
+	for _, bay := range []int{2, 7, 9} {
+		if err := arr.Shelf().ReinsertDrive(bay); err != nil {
+			return err
+		}
+	}
 	fmt.Fprintf(w, "\nPaper shape: service continues through any two losses; reconstruction reads\n")
 	fmt.Fprintf(w, "replace the missing shards; the third simultaneous loss is out of contract.\n")
 	return nil

@@ -30,11 +30,15 @@ func runE5(o Options) error {
 		for i := 0; i < n; i++ {
 			batch = append(batch, tuple.Fact{Seq: tuple.Seq(i + 1), Cols: []uint64{uint64(i), uint64(i) * 3, 7}})
 			if len(batch) == 1024 {
-				p.Insert(batch)
+				if err := p.Insert(batch); err != nil {
+					return nil, nil, err
+				}
 				batch = batch[:0]
 			}
 		}
-		p.Insert(batch)
+		if err := p.Insert(batch); err != nil {
+			return nil, nil, err
+		}
 		if _, err := p.Flush(0, tuple.Seq(n)); err != nil {
 			return nil, nil, err
 		}
@@ -56,7 +60,9 @@ func runE5(o Options) error {
 	}
 	// Force a rewrite of the single patch by flushing one more fact and
 	// merging, to show reclaim completes.
-	pe.Insert([]tuple.Fact{{Seq: tuple.Seq(n + 1), Cols: []uint64{uint64(n + 1), 0, 0}}})
+	if err := pe.Insert([]tuple.Fact{{Seq: tuple.Seq(n + 1), Cols: []uint64{uint64(n + 1), 0, 0}}}); err != nil {
+		return err
+	}
 	if _, err := pe.Flush(0, tuple.Seq(n+1)); err != nil {
 		return err
 	}
@@ -80,11 +86,15 @@ func runE5(o Options) error {
 		// itself be stored and merged until it reaches the oldest level.
 		batch = append(batch, tuple.Fact{Seq: seq, Cols: []uint64{uint64(i), 0, deadMarker}})
 		if len(batch) == 1024 {
-			pt.Insert(batch)
+			if err := pt.Insert(batch); err != nil {
+				return err
+			}
 			batch = batch[:0]
 		}
 	}
-	pt.Insert(batch)
+	if err := pt.Insert(batch); err != nil {
+		return err
+	}
 	if _, err := pt.Flush(0, seq); err != nil {
 		return err
 	}

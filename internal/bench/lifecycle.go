@@ -93,8 +93,12 @@ func runE12(o Options) error {
 
 	// --- Two drive losses, replacement, online rebuild ---
 	sh := arr.Shelf()
-	sh.PullDrive(2) // drive 2 also carries a boot-region replica
-	sh.PullDrive(7)
+	if err := sh.PullDrive(2); err != nil { // drive 2 also carries a boot-region replica
+		return err
+	}
+	if err := sh.PullDrive(7); err != nil {
+		return err
+	}
 	if err := phase("two drives pulled"); err != nil {
 		return err
 	}

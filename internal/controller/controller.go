@@ -59,8 +59,8 @@ var ErrUnavailable = errors.New("controller: array unavailable during failover")
 // Pair is the two-controller array frontend. Safe for concurrent use: the
 // server dispatches every client connection on its own goroutine, so the
 // small amount of HA state here (who is alive, which engine is live) is
-// guarded by an RWMutex — I/O takes the read side and rides the engine's
-// own internal synchronization, failover takes the write side.
+// guarded by mu (an RWMutex) — I/O takes the read side and rides the
+// engine's own internal synchronization, failover takes the write side.
 type Pair struct {
 	cfg      Config
 	arrayCfg core.Config

@@ -139,9 +139,9 @@ type Stats struct {
 
 func newStats() Stats {
 	return Stats{
-		WriteLatency:  telemetry.NewHistogram(),
-		ReadLatency:   telemetry.NewHistogram(),
-		Reduction:     &telemetry.Reduction{},
+		WriteLatency:     telemetry.NewHistogram(),
+		ReadLatency:      telemetry.NewHistogram(),
+		Reduction:        &telemetry.Reduction{},
 		SegReadErrors:    telemetry.NewCounter(),
 		UnpackErrors:     telemetry.NewCounter(),
 		ExtentReadErrors: telemetry.NewCounter(),
@@ -522,9 +522,13 @@ func (a *Array) readSegmentLocked(at sim.Time, id layout.SegmentID, off int64, n
 
 // pageStore adapts the array to the pyramid.PageStore interface. Metadata
 // pages are segment data in the classMeta segments; patch descriptors are
-// segio log records.
+// segio log records. The pyramids only persist when the engine drives
+// them — flush, merge, checkpoint — all of which run under Array.mu, so
+// every method here carries the lock annotation.
 type pageStore Array
 
+// WritePage appends a metadata page to the meta segment class. Caller
+// holds mu.
 func (s *pageStore) WritePage(at sim.Time, page []byte) (pyramid.Ref, sim.Time, error) {
 	a := (*Array)(s)
 	seg, off, done, err := a.appendDataLocked(at, classMeta, page)
@@ -534,11 +538,13 @@ func (s *pageStore) WritePage(at sim.Time, page []byte) (pyramid.Ref, sim.Time, 
 	return pyramid.Ref{Segment: uint64(seg), Off: off, Len: int32(len(page))}, done, nil
 }
 
+// WriteDescriptor appends a patch descriptor log record. Caller holds mu.
 func (s *pageStore) WriteDescriptor(at sim.Time, desc []byte, lo, hi uint64) (sim.Time, error) {
 	a := (*Array)(s)
 	return a.appendLogLocked(at, desc, tuple.Seq(lo), tuple.Seq(hi))
 }
 
+// ReadPage fetches a metadata page by reference. Caller holds mu.
 func (s *pageStore) ReadPage(at sim.Time, ref pyramid.Ref) ([]byte, sim.Time, error) {
 	a := (*Array)(s)
 	return a.readSegmentLocked(at, layout.SegmentID(ref.Segment), ref.Off, int(ref.Len))

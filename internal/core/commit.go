@@ -110,6 +110,7 @@ func decodeWriteRecord(b []byte) ([]writeChunk, error) {
 // nvramAppendLocked mirrors a record to every NVRAM device; the commit is
 // durable when the slowest device finishes (§4.1's redundant NVRAM). When
 // the log fills, the engine checkpoints to release it and retries once.
+// Caller holds mu.
 func (a *Array) nvramAppendLocked(at sim.Time, rec []byte) (sim.Time, error) {
 	done, err := a.nvramAppendOnce(at, rec)
 	if err == nil {
@@ -183,7 +184,8 @@ func (a *Array) commitFactsLocked(at sim.Time, relID uint32, facts []tuple.Fact)
 // applyFactsLocked inserts facts into a pyramid, materializing elide
 // predicates into their in-memory tables as a side effect. Used by both
 // the commit path and NVRAM replay; replay treats a SchemaError as a
-// malformed record and rejects it rather than aborting recovery.
+// malformed record and rejects it rather than aborting recovery. Caller
+// holds mu.
 func (a *Array) applyFactsLocked(relID uint32, facts []tuple.Fact) error {
 	if err := a.pyr[relID].Insert(facts); err != nil {
 		return err
@@ -198,7 +200,7 @@ func (a *Array) applyFactsLocked(relID uint32, facts []tuple.Fact) error {
 
 // maybeBackgroundLocked runs periodic maintenance: pyramid flushes once
 // memtables grow, merges toward the patch target, and periodic full
-// checkpoints. Called with mu held after every client op.
+// checkpoints. Runs after every client op. Caller holds mu.
 func (a *Array) maybeBackgroundLocked(at sim.Time) (sim.Time, error) {
 	a.opsSinceBG++
 	if a.opsSinceBG < a.cfg.BackgroundEvery {
@@ -232,6 +234,7 @@ func (a *Array) maybeBackgroundLocked(at sim.Time) (sim.Time, error) {
 // checkpointLocked makes everything durable and trims the NVRAM log: data
 // segios flush, pyramids flush and merge, the boot record is rewritten, and
 // the whole NVRAM log is released (Figure 4's "trims the DRAM and NVRAM").
+// Caller holds mu.
 func (a *Array) checkpointLocked(at sim.Time) (sim.Time, error) {
 	a.crash.Hit("ckpt.begin")
 	// 1. Data durability: flush open segios of data-bearing classes.
@@ -308,7 +311,7 @@ func (a *Array) flushOpenSegiosLocked(at sim.Time) (sim.Time, error) {
 // pyramid flushing and NVRAM trim of a full checkpoint — recovery still has
 // NVRAM — but it must flush open segios first: the checkpoint's patch
 // catalogs reference pages that would otherwise be sitting in an unflushed
-// segio, and a crash would leave those patches dangling.
+// segio, and a crash would leave those patches dangling. Caller holds mu.
 func (a *Array) writeFrontierLocked(at sim.Time) (sim.Time, error) {
 	done, err := a.flushOpenSegiosLocked(at)
 	if err != nil {

@@ -32,6 +32,9 @@ func (a *Array) addrValidLocked(r relation.AddrRow) bool {
 	return int64(r.SegOff)+int64(r.PhysLen) <= int64(info.Stripes)*int64(a.cfg.Layout.StripeDataBytes())
 }
 
+// AddrCovering returns the newest address-map entry covering the sector.
+// The resolver only runs from read/write paths under the array lock —
+// Caller holds mu.
 func (l *lookupAdapter) AddrCovering(at sim.Time, med, sector uint64) (relation.AddrRow, bool, sim.Time, error) {
 	a := (*Array)(l)
 	// Entries may overlap; the newest covering entry wins. A covering
@@ -61,6 +64,8 @@ func (l *lookupAdapter) AddrCovering(at sim.Time, med, sector uint64) (relation.
 	return best, found, done, nil
 }
 
+// AddrCeil returns the entry with the least starting sector ≥ sector.
+// Caller holds mu.
 func (l *lookupAdapter) AddrCeil(at sim.Time, med, sector uint64) (relation.AddrRow, bool, sim.Time, error) {
 	a := (*Array)(l)
 	f, ok, done, err := a.pyr[relation.IDAddrs].GetCeil(at, []uint64{med}, sector)
@@ -70,6 +75,8 @@ func (l *lookupAdapter) AddrCeil(at sim.Time, med, sector uint64) (relation.Addr
 	return relation.AddrFromFact(f), true, done, nil
 }
 
+// MediumFloor returns the medium-table row with the greatest Start ≤
+// start. Caller holds mu.
 func (l *lookupAdapter) MediumFloor(at sim.Time, med, start uint64) (relation.MediumRow, bool, sim.Time, error) {
 	a := (*Array)(l)
 	f, ok, done, err := a.pyr[relation.IDMediums].GetFloor(at, []uint64{med}, start)

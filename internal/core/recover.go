@@ -25,8 +25,8 @@ type RecoveryStats struct {
 	StripesScanned     int
 	PatchesApplied     int
 	NVRAMRecords       int
-	RecordsRejected    int // malformed NVRAM records skipped by replay
-	LostShardsMarked   int // swapped-in shards found garbage (rebuild was mid-copy)
+	RecordsRejected    int      // malformed NVRAM records skipped by replay
+	LostShardsMarked   int      // swapped-in shards found garbage (rebuild was mid-copy)
 	ScanTime           sim.Time // the AU/stripe scan alone
 	TotalTime          sim.Time
 }
@@ -509,6 +509,8 @@ func (a *Array) applyElideFact(f tuple.Fact) {
 // replayRecord redoes one NVRAM record. Malformed records (undecodable
 // bytes, unknown kinds, schema-invalid facts) return errors wrapping
 // errBadRecord so the replay loop can reject them without aborting.
+// Recovery runs single-threaded before the array is published, so the
+// *Locked helpers below are called without holding mu.
 func (a *Array) replayRecord(at sim.Time, payload []byte) (sim.Time, error) {
 	if len(payload) == 0 {
 		return at, fmt.Errorf("%w: empty payload", errBadRecord)
@@ -522,6 +524,7 @@ func (a *Array) replayRecord(at sim.Time, payload []byte) (sim.Time, error) {
 		for _, f := range facts {
 			a.seqs.AdvanceTo(f.Seq)
 		}
+		//lint:ignore lockcheck recovery is single-threaded; the array is not yet published
 		if err := a.applyFactsLocked(relID, facts); err != nil {
 			return at, fmt.Errorf("%w: %v", errBadRecord, err)
 		}
@@ -547,24 +550,23 @@ func (a *Array) replayRecord(at sim.Time, payload []byte) (sim.Time, error) {
 				if err != nil {
 					return done, err
 				}
+				//lint:ignore lockcheck recovery is single-threaded; the array is not yet published
 				seg, off, d, err := a.appendDataLocked(done, classData, frame)
 				done = d
 				if err != nil {
 					return done, err
 				}
 				a.liveBytes[seg] += int64(len(frame))
-				ch.addr.Cols[2] = uint64(seg)
-				ch.addr.Cols[3] = uint64(off)
-				ch.addr.Cols[4] = uint64(len(frame))
-				for _, df := range ch.dedup {
-					df.Cols[1] = uint64(seg)
-					df.Cols[2] = uint64(off)
-					df.Cols[3] = uint64(len(frame))
+				ch.addr = relation.RemapAddr(ch.addr, uint64(seg), uint64(off), uint64(len(frame)))
+				for i := range ch.dedup {
+					ch.dedup[i] = relation.RemapDedup(ch.dedup[i], uint64(seg), uint64(off), uint64(len(frame)))
 				}
 			}
+			//lint:ignore lockcheck recovery is single-threaded; the array is not yet published
 			if err := a.applyFactsLocked(relation.IDAddrs, []tuple.Fact{ch.addr}); err != nil {
 				return done, fmt.Errorf("%w: %v", errBadRecord, err)
 			}
+			//lint:ignore lockcheck recovery is single-threaded; the array is not yet published
 			if err := a.applyFactsLocked(relation.IDDedup, ch.dedup); err != nil {
 				return done, fmt.Errorf("%w: %v", errBadRecord, err)
 			}

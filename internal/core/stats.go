@@ -152,6 +152,7 @@ func (a *Array) ElideTableSize(relID uint32) int {
 // provisionedLocked sums live volume sizes. Caller holds mu.
 func (a *Array) provisionedLocked() int64 {
 	var total int64
+	//lint:ignore errdrop best-effort gauge; a scan error leaves it partial and is already counted by SegReadErrors at the read layer
 	_, _ = a.pyr[relation.IDVolumes].Scan(0, nil, nil, func(f tuple.Fact) bool {
 		row := relation.VolumeFromFact(f)
 		if row.State == relation.VolumeActive {

@@ -182,6 +182,8 @@ func (a *Allocator) MarkInUse(aus []AU) {
 	}
 }
 
+// removeFreeLocked drops one AU from its drive's free list. Caller holds
+// mu.
 func (a *Allocator) removeFreeLocked(au AU) {
 	if au.Drive < 0 || au.Drive >= len(a.free) {
 		return

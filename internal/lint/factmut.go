@@ -1,0 +1,118 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"regexp"
+)
+
+// FactMut enforces logical monotonicity at the type level (§3.2: "facts
+// are never updated in place"). A struct whose doc comment carries the
+// marker "immutable fact" — tuple.Fact and the relation row types — must
+// never have a field written outside the file that declares the type:
+// construction happens in the constructor file, everywhere else an
+// "update" is a new fact with a fresh sequence number. Writes through a
+// fact's slice fields (f.Cols[i] = v) count as mutations too, since Cols
+// aliases the published fact.
+//
+// Decode paths that build fresh facts field-by-field for efficiency are
+// the documented exception: they suppress with //lint:ignore factmut and
+// a reason.
+type FactMut struct {
+	// marked maps each annotated named struct type to its declaring file.
+	marked map[*types.TypeName]string
+}
+
+var immutableFactRE = regexp.MustCompile(`(?i)\bimmutable facts?\b`)
+
+func (*FactMut) Name() string { return "factmut" }
+func (*FactMut) Doc() string {
+	return `structs marked "immutable fact" may only have fields written in their declaring file`
+}
+
+func (fm *FactMut) Prepare(prog *Program) {
+	fm.marked = map[*types.TypeName]string{}
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					if _, ok := ts.Type.(*ast.StructType); !ok {
+						continue
+					}
+					doc := ts.Doc.Text()
+					if doc == "" && len(gd.Specs) == 1 {
+						doc = gd.Doc.Text()
+					}
+					if !immutableFactRE.MatchString(doc) {
+						continue
+					}
+					if obj, ok := pkg.Info.Defs[ts.Name].(*types.TypeName); ok {
+						fm.marked[obj] = prog.Fset.Position(ts.Pos()).Filename
+					}
+				}
+			}
+		}
+	}
+}
+
+func (fm *FactMut) Check(prog *Program, pkg *Package, rep *Reporter) {
+	if len(fm.marked) == 0 {
+		return
+	}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					fm.checkWrite(prog, pkg, lhs, rep)
+				}
+			case *ast.IncDecStmt:
+				fm.checkWrite(prog, pkg, n.X, rep)
+			}
+			return true
+		})
+	}
+}
+
+// checkWrite flags lhs when it writes a field (or an element reached
+// through a field) of a marked type from a foreign file.
+func (fm *FactMut) checkWrite(prog *Program, pkg *Package, lhs ast.Expr, rep *Reporter) {
+	lhs = ast.Unparen(lhs)
+	via := ""
+	if idx, ok := lhs.(*ast.IndexExpr); ok {
+		lhs = ast.Unparen(idx.X)
+		via = "element of "
+	}
+	sel, ok := lhs.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	s, ok := pkg.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return
+	}
+	n := derefNamed(pkg.Info.Types[sel.X].Type)
+	if n == nil {
+		return
+	}
+	declFile, marked := fm.marked[n.Obj()]
+	if !marked {
+		return
+	}
+	writeFile := prog.Fset.Position(lhs.Pos()).Filename
+	if writeFile == declFile {
+		return
+	}
+	rep.Reportf("factmut", lhs.Pos(),
+		"write to %sfield %s of immutable fact type %s outside its declaring file %s: emit a new fact instead of mutating",
+		via, sel.Sel.Name, n.Obj().Name(), filepath.Base(declFile))
+}

@@ -1,0 +1,257 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding: file:line: [rule] message.
+type Diagnostic struct {
+	Pos     token.Position
+	Rule    string
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
+}
+
+// Rule is one invariant checker. Check is called once per requested
+// package; rules needing cross-package state implement preparer.
+type Rule interface {
+	Name() string
+	Doc() string
+	Check(prog *Program, pkg *Package, rep *Reporter)
+}
+
+// preparer is implemented by rules that build a whole-program index (marked
+// types, lock annotations) before per-package checking starts.
+type preparer interface {
+	Prepare(prog *Program)
+}
+
+// Reporter accumulates diagnostics for one run.
+type Reporter struct {
+	fset  *token.FileSet
+	diags []Diagnostic
+}
+
+// Reportf records one diagnostic for rule at pos.
+func (r *Reporter) Reportf(rule string, pos token.Pos, format string, args ...any) {
+	r.diags = append(r.diags, Diagnostic{
+		Pos:     r.fset.Position(pos),
+		Rule:    rule,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// DefaultRules returns the full rule set in reporting order.
+func DefaultRules() []Rule {
+	return []Rule{
+		&LockCheck{},
+		&FactMut{},
+		&CrashPointCheck{},
+		&ErrDrop{},
+		&NoDebug{},
+	}
+}
+
+// Run executes the rules over every requested package of prog and returns
+// the surviving diagnostics, sorted, with //lint:ignore suppressions
+// applied. Malformed or unknown-rule ignore comments are themselves
+// reported under the pseudo-rule "ignore" so a typo cannot silently
+// disable a check.
+func Run(prog *Program, rules []Rule) []Diagnostic {
+	rep := &Reporter{fset: prog.Fset}
+	for _, r := range rules {
+		if p, ok := r.(preparer); ok {
+			p.Prepare(prog)
+		}
+	}
+	for _, pkg := range prog.Pkgs {
+		if !pkg.Requested {
+			continue
+		}
+		for _, r := range rules {
+			r.Check(prog, pkg, rep)
+		}
+	}
+	sup := collectSuppressions(prog, rules, rep)
+	var out []Diagnostic
+	for _, d := range rep.diags {
+		if sup.match(d) {
+			continue
+		}
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+	return out
+}
+
+// --- Suppressions -------------------------------------------------------
+//
+// Grammar: //lint:ignore <rule>[,<rule>...] <reason>
+//
+// The comment suppresses the named rules on its own line (trailing
+// comment) and on the line directly below (comment-above style). The
+// reason is mandatory: an ignore is a documented exception, not an off
+// switch.
+
+type suppressions struct {
+	// byLine maps file → line → suppressed rule names.
+	byLine map[string]map[int]map[string]bool
+}
+
+func (s suppressions) match(d Diagnostic) bool {
+	return s.byLine[d.Pos.Filename][d.Pos.Line][d.Rule]
+}
+
+func collectSuppressions(prog *Program, rules []Rule, rep *Reporter) suppressions {
+	known := map[string]bool{}
+	for _, r := range rules {
+		known[r.Name()] = true
+	}
+	sup := suppressions{byLine: map[string]map[int]map[string]bool{}}
+	for _, pkg := range prog.Pkgs {
+		if !pkg.Requested {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text, ok := strings.CutPrefix(c.Text, "//lint:ignore")
+					if !ok {
+						continue
+					}
+					fields := strings.Fields(text)
+					if len(fields) < 2 {
+						rep.Reportf("ignore", c.Pos(), "malformed //lint:ignore: want \"//lint:ignore <rule> <reason>\"")
+						continue
+					}
+					pos := prog.Fset.Position(c.Pos())
+					for _, name := range strings.Split(fields[0], ",") {
+						if !known[name] {
+							rep.Reportf("ignore", c.Pos(), "//lint:ignore names unknown rule %q", name)
+							continue
+						}
+						file := sup.byLine[pos.Filename]
+						if file == nil {
+							file = map[int]map[string]bool{}
+							sup.byLine[pos.Filename] = file
+						}
+						for _, line := range []int{pos.Line, pos.Line + 1} {
+							if file[line] == nil {
+								file[line] = map[string]bool{}
+							}
+							file[line][name] = true
+						}
+					}
+				}
+			}
+		}
+	}
+	return sup
+}
+
+// --- Shared AST/type helpers -------------------------------------------
+
+// exprKey renders a selector chain ("a", "a.pyr") for comparing lock
+// owners and call receivers. Expressions more complex than a chain of
+// identifiers and field selections get a position-qualified key so they
+// never alias each other.
+func exprKey(fset *token.FileSet, e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.ParenExpr:
+		return exprKey(fset, e.X)
+	case *ast.StarExpr:
+		return exprKey(fset, e.X)
+	case *ast.SelectorExpr:
+		return exprKey(fset, e.X) + "." + e.Sel.Name
+	default:
+		return fmt.Sprintf("~expr@%v", fset.Position(e.Pos()))
+	}
+}
+
+// calleeFunc resolves the *types.Func a call invokes, or nil for builtins,
+// conversions, and indirect calls through function values.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				return fn
+			}
+			return nil
+		}
+		// Package-qualified call (fmt.Printf): not a selection.
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// recvNamed returns the named type of a method's receiver, unwrapping one
+// pointer, or nil for package-level functions.
+func recvNamed(fn *types.Func) *types.Named {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// isMethod reports whether fn is the named method on the named receiver
+// type defined in package pkgPath.
+func isMethod(fn *types.Func, pkgPath, recvName, method string) bool {
+	if fn == nil || fn.Name() != method {
+		return false
+	}
+	n := recvNamed(fn)
+	if n == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == pkgPath && n.Obj().Name() == recvName
+}
+
+// derefStruct unwraps pointers and names down to the underlying struct
+// type, returning the named type carrying it (or nil).
+func derefNamed(t types.Type) *types.Named {
+	for {
+		switch tt := t.(type) {
+		case *types.Pointer:
+			t = tt.Elem()
+		case *types.Named:
+			return tt
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// A fixture package under testdata/<rule> encodes its expectations as
+// trailing comments: // want "substring". The harness requires an exact
+// file:line match and a substring match on the message, in both
+// directions — every diagnostic must be wanted and every want must fire.
+
+type want struct {
+	file    string
+	line    int
+	substr  string
+	matched bool
+}
+
+var wantRE = regexp.MustCompile(`// want "([^"]*)"`)
+
+func parseWants(t *testing.T, dir string) []want {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wants []want
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, m := range wantRE.FindAllStringSubmatch(line, -1) {
+				wants = append(wants, want{file: path, line: i + 1, substr: m[1]})
+			}
+		}
+	}
+	return wants
+}
+
+// runFixture lints one testdata package with the given rules and checks
+// the diagnostics against the fixture's want comments.
+func runFixture(t *testing.T, name string, rules []Rule) {
+	t.Helper()
+	dir := filepath.Join("testdata", name)
+	prog, err := Load(".", []string{dir})
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	diags := Run(prog, rules)
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := parseWants(t, abs)
+	for _, d := range diags {
+		ok := false
+		for i := range wants {
+			w := &wants[i]
+			if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line &&
+				strings.Contains(d.Message, w.substr) {
+				w.matched = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: want diagnostic containing %q, got none", w.file, w.line, w.substr)
+		}
+	}
+	if len(diags) == 0 {
+		t.Fatalf("fixture %s produced no diagnostics; purity-lint would exit 0 on it", name)
+	}
+}
+
+func TestLockCheckFixture(t *testing.T) { runFixture(t, "lockcheck", []Rule{&LockCheck{}}) }
+
+func TestFactMutFixture(t *testing.T) { runFixture(t, "factmut", []Rule{&FactMut{}}) }
+
+func TestCrashPointCheckFixture(t *testing.T) {
+	runFixture(t, "crashpointcheck", []Rule{&CrashPointCheck{}})
+}
+
+func TestErrDropFixture(t *testing.T) { runFixture(t, "errdrop", []Rule{&ErrDrop{}}) }
+
+func TestNoDebugFixture(t *testing.T) { runFixture(t, "nodebug", []Rule{&NoDebug{}}) }
+
+// TestIgnoreGrammar checks that a reasonless or misspelled //lint:ignore is
+// itself reported and suppresses nothing. Want comments cannot trail a
+// comment-only line, so this test asserts the diagnostics directly.
+func TestIgnoreGrammar(t *testing.T) {
+	prog, err := Load(".", []string{filepath.Join("testdata", "ignore")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(prog, DefaultRules())
+	byRule := map[string][]string{}
+	for _, d := range diags {
+		byRule[d.Rule] = append(byRule[d.Rule], d.Message)
+	}
+	if n := len(byRule["errdrop"]); n != 2 {
+		t.Errorf("got %d errdrop diagnostics, want 2 (broken ignores must not suppress): %v",
+			n, byRule["errdrop"])
+	}
+	if n := len(byRule["ignore"]); n != 2 {
+		t.Fatalf("got %d ignore-grammar diagnostics, want 2: %v", n, byRule["ignore"])
+	}
+	var sawMalformed, sawUnknown bool
+	for _, m := range byRule["ignore"] {
+		sawMalformed = sawMalformed || strings.Contains(m, "malformed")
+		sawUnknown = sawUnknown || strings.Contains(m, "unknown rule")
+	}
+	if !sawMalformed || !sawUnknown {
+		t.Errorf("ignore-grammar diagnostics missing malformed/unknown case: %v", byRule["ignore"])
+	}
+}
+
+// TestSelfCheck runs the full rule set over the whole module: the repo must
+// lint clean, so the gate in scripts/check.sh can be a hard failure.
+func TestSelfCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	prog, err := Load("../..", []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range Run(prog, DefaultRules()) {
+		t.Errorf("repo is not lint-clean: %s", d)
+	}
+}

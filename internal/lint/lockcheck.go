@@ -1,0 +1,282 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// LockCheck enforces the repo's annotation-driven lock discipline. The
+// canonical grammar is a doc-comment sentence "Caller holds mu." on every
+// function that requires its receiver's mutex:
+//
+//   - A call to an annotated function is legal only from a context that
+//     holds the lock: the caller is itself annotated, or it acquired the
+//     same receiver's mu (Lock or RLock) earlier in its body.
+//   - A method named *Locked must carry the annotation, so the naming
+//     convention and the machine-checked one cannot drift apart.
+//   - While a function holds a write lock to the end of its body
+//     (mu.Lock with a deferred mu.Unlock and no early unlock), it must not
+//     call back into a method of the same receiver that acquires mu —
+//     self-deadlock, sync.Mutex being non-reentrant.
+//
+// The analysis is intra-procedural and keys receivers by selector chain
+// ("a", "a.pyr"), which matches how the repo writes its hot paths; calls
+// through function values or across goroutines are out of scope.
+type LockCheck struct {
+	funcs map[*types.Func]*lockFuncInfo
+}
+
+// callerHoldsRE tolerates historical drift ("Caller must hold mu") and,
+// via whitespace normalization, doc-comment line wrapping; the
+// normalization satellite keeps the repo itself on the canonical spelling.
+var callerHoldsRE = regexp.MustCompile(`(?i)\bcaller(s)? (holds?|must hold) mu\b`)
+
+// hasCallerHolds matches the annotation in a doc comment, joining wrapped
+// lines so "Caller holds\nmu." still counts.
+func hasCallerHolds(doc string) bool {
+	return callerHoldsRE.MatchString(strings.Join(strings.Fields(doc), " "))
+}
+
+type lockAcq struct {
+	chain string // exprKey of the mutex itself ("a.mu" for a.mu.Lock())
+	write bool   // Lock vs RLock
+	pos   token.Pos
+}
+
+type lockFuncInfo struct {
+	pkg         *Package
+	decl        *ast.FuncDecl
+	recvName    string
+	callerHolds bool
+	acquires    []lockAcq
+	// deferred/explicit unlocks by mutex chain, for the self-deadlock check.
+	deferUnlock map[string]bool
+	earlyUnlock map[string]bool
+}
+
+// acquiresOwnMu reports whether the function takes its own receiver's mu
+// field specifically — a.lostMu and other sibling mutexes do not count.
+func (fi *lockFuncInfo) acquiresOwnMu() bool {
+	for _, a := range fi.acquires {
+		if fi.recvName != "" && a.chain == fi.recvName+".mu" {
+			return true
+		}
+	}
+	return false
+}
+
+func (*LockCheck) Name() string { return "lockcheck" }
+func (*LockCheck) Doc() string {
+	return `functions annotated "Caller holds mu." may only be called while holding mu`
+}
+
+func (lc *LockCheck) Prepare(prog *Program) {
+	lc.funcs = map[*types.Func]*lockFuncInfo{}
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				fi := &lockFuncInfo{
+					pkg:         pkg,
+					decl:        fd,
+					callerHolds: hasCallerHolds(fd.Doc.Text()),
+					deferUnlock: map[string]bool{},
+					earlyUnlock: map[string]bool{},
+				}
+				if fd.Recv != nil && len(fd.Recv.List) > 0 && len(fd.Recv.List[0].Names) > 0 {
+					fi.recvName = fd.Recv.List[0].Names[0].Name
+				}
+				lc.scanLockOps(pkg, fd, fi)
+				lc.funcs[obj] = fi
+			}
+		}
+	}
+}
+
+// scanLockOps records every mutex Lock/RLock/Unlock/RUnlock in the body,
+// keyed by the full chain of the mutex expression ("a.mu" for
+// a.mu.Lock()), so sibling mutexes on the same receiver (a.mu, a.lostMu)
+// never alias each other.
+func (lc *LockCheck) scanLockOps(pkg *Package, fd *ast.FuncDecl, fi *lockFuncInfo) {
+	record := func(call *ast.CallExpr, deferred bool) {
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		fn := calleeFunc(pkg.Info, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+			return
+		}
+		chain := exprKey(pkg.pkgFset(), sel.X)
+		switch fn.Name() {
+		case "Lock":
+			fi.acquires = append(fi.acquires, lockAcq{chain: chain, write: true, pos: call.Pos()})
+		case "RLock":
+			fi.acquires = append(fi.acquires, lockAcq{chain: chain, write: false, pos: call.Pos()})
+		case "Unlock", "RUnlock":
+			if deferred {
+				fi.deferUnlock[chain] = true
+			} else {
+				fi.earlyUnlock[chain] = true
+			}
+		}
+	}
+	// Inspect visits a deferred call twice: as the DeferStmt's child and as
+	// a plain CallExpr. Remember the deferred ones so the second visit does
+	// not re-record them as early unlocks.
+	deferred := map[*ast.CallExpr]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			deferred[n.Call] = true
+			record(n.Call, true)
+		case *ast.CallExpr:
+			if !deferred[n] {
+				record(n, false)
+			}
+		}
+		return true
+	})
+}
+
+func isMutexType(t types.Type) bool {
+	n := derefNamed(t)
+	if n == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == "sync" &&
+		(n.Obj().Name() == "Mutex" || n.Obj().Name() == "RWMutex")
+}
+
+func (lc *LockCheck) Check(prog *Program, pkg *Package, rep *Reporter) {
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+			fi := lc.funcs[obj]
+			if fi == nil {
+				continue
+			}
+			lc.checkNaming(pkg, fd, fi, rep)
+			lc.checkCalls(prog, pkg, fd, fi, rep)
+		}
+	}
+}
+
+// checkNaming: *Locked methods of mutex-bearing structs must carry the
+// canonical annotation, so lockcheck can key off it.
+func (lc *LockCheck) checkNaming(pkg *Package, fd *ast.FuncDecl, fi *lockFuncInfo, rep *Reporter) {
+	name := fd.Name.Name
+	if fi.callerHolds || len(name) <= len("Locked") ||
+		name[len(name)-len("Locked"):] != "Locked" || fd.Recv == nil {
+		return
+	}
+	obj, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+	if obj == nil {
+		return
+	}
+	n := recvNamed(obj)
+	if n == nil || !structHasMutex(n) {
+		return
+	}
+	rep.Reportf("lockcheck", fd.Name.Pos(),
+		"method %s is named *Locked but its doc comment lacks the canonical %q annotation", name, "Caller holds mu.")
+}
+
+func structHasMutex(n *types.Named) bool {
+	st, ok := n.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if isMutexType(st.Field(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkCalls walks the body once, flagging (1) calls to annotated
+// functions from contexts that provably do not hold the lock and (2)
+// self-deadlocking calls made while a write lock is held to function end.
+func (lc *LockCheck) checkCalls(prog *Program, pkg *Package, fd *ast.FuncDecl, fi *lockFuncInfo, rep *Reporter) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := calleeFunc(pkg.Info, call)
+		if callee == nil {
+			return true
+		}
+		ci := lc.funcs[callee]
+
+		recvKey := ""
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			recvKey = exprKey(pkg.pkgFset(), sel.X)
+		}
+
+		// (1) Annotated callee: the caller must hold the lock.
+		if ci != nil && ci.callerHolds && !fi.callerHolds {
+			held := false
+			for _, a := range fi.acquires {
+				if a.chain == recvKey+".mu" && a.pos < call.Pos() {
+					held = true
+					break
+				}
+			}
+			if !held {
+				rep.Reportf("lockcheck", call.Pos(),
+					"call to %s, which requires %q, but %s is not annotated and never locks %s.mu",
+					callee.Name(), "Caller holds mu.", describeFunc(fd), orReceiver(recvKey))
+			}
+		}
+
+		// (2) Self-deadlock: write lock held to end of body, then a call
+		// back into a lock-acquiring method of the same receiver.
+		if ci != nil && ci.acquiresOwnMu() && recvKey != "" {
+			muKey := recvKey + ".mu"
+			for _, a := range fi.acquires {
+				if a.write && a.chain == muKey && a.pos < call.Pos() &&
+					fi.deferUnlock[muKey] && !fi.earlyUnlock[muKey] {
+					rep.Reportf("lockcheck", call.Pos(),
+						"%s holds %s.mu (deferred unlock) and calls %s, which acquires %s.mu: self-deadlock",
+						describeFunc(fd), recvKey, callee.Name(), recvKey)
+					break
+				}
+			}
+		}
+		return true
+	})
+}
+
+func describeFunc(fd *ast.FuncDecl) string {
+	if fd.Recv != nil {
+		return "method " + fd.Name.Name
+	}
+	return "function " + fd.Name.Name
+}
+
+func orReceiver(recvKey string) string {
+	if recvKey == "" {
+		return "the receiver"
+	}
+	return recvKey
+}
+
+// pkgFset renders expression keys without threading the program through
+// every helper; positions only feed fallback keys for complex expressions.
+func (p *Package) pkgFset() *token.FileSet { return p.fset }

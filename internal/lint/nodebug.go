@@ -1,0 +1,55 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// NoDebug bans stray console output from engine code: no fmt.Print,
+// fmt.Printf, fmt.Println, or the builtin print/println anywhere under
+// internal/. PRs 1 and 2 converted the last DEBUG printfs into telemetry
+// counters and structured errors; this rule keeps them out. Writer-directed
+// output (fmt.Fprintf to an explicit io.Writer, as internal/bench uses for
+// its reports) is fine — the caller chose the destination.
+type NoDebug struct{}
+
+func (*NoDebug) Name() string { return "nodebug" }
+func (*NoDebug) Doc() string {
+	return "no fmt.Print*/print/println in internal/ packages; use telemetry counters"
+}
+
+var nodebugBannedFmt = map[string]bool{
+	"Print":   true,
+	"Printf":  true,
+	"Println": true,
+}
+
+func (nd *NoDebug) Check(prog *Program, pkg *Package, rep *Reporter) {
+	if !strings.HasPrefix(pkg.RelDir, "internal/") && pkg.RelDir != "internal" {
+		return
+	}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch fun := ast.Unparen(call.Fun).(type) {
+			case *ast.Ident:
+				if b, ok := pkg.Info.Uses[fun].(*types.Builtin); ok &&
+					(b.Name() == "print" || b.Name() == "println") {
+					rep.Reportf("nodebug", call.Pos(),
+						"builtin %s in internal package %s: use a telemetry counter or a structured error", b.Name(), pkg.Path)
+				}
+			case *ast.SelectorExpr:
+				fn := calleeFunc(pkg.Info, call)
+				if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" && nodebugBannedFmt[fn.Name()] {
+					rep.Reportf("nodebug", call.Pos(),
+						"fmt.%s in internal package %s: debug output belongs in telemetry counters, reports go through an io.Writer", fn.Name(), pkg.Path)
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,30 @@
+// Package fixcrash is a purity-lint fixture for the crashpointcheck rule:
+// a durable-write primitive call needs a crashpoint.Hit in the same
+// function, or a reasoned suppression.
+package fixcrash
+
+import (
+	"purity/internal/crashpoint"
+	"purity/internal/nvram"
+	"purity/internal/sim"
+)
+
+// badAppend persists a record but exposes no crash boundary to the sweep.
+func badAppend(d *nvram.Device, at sim.Time, rec []byte) error {
+	_, _, err := d.Append(at, rec) // want "calls durable-write primitive nvram.Device.Append"
+	return err
+}
+
+// goodAppend pairs the durable write with an enumerable crashpoint.
+func goodAppend(cr *crashpoint.Registry, d *nvram.Device, at sim.Time, rec []byte) error {
+	_, _, err := d.Append(at, rec)
+	cr.Hit("fixture.append")
+	return err
+}
+
+// suppressed documents a write that creates no new durable commitment.
+func suppressed(d *nvram.Device, at sim.Time, rec []byte) error {
+	//lint:ignore crashpointcheck fixture: rewrite of data reconstructable from parity
+	_, _, err := d.Append(at, rec)
+	return err
+}

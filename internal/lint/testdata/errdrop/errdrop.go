@@ -1,0 +1,31 @@
+// Package fixerr is a purity-lint fixture for the errdrop rule: discarded
+// error returns are flagged unless allowlisted or suppressed with a reason.
+package fixerr
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+)
+
+func fail() error { return errors.New("boom") }
+
+// drop discards errors both ways the rule recognizes.
+func drop() {
+	fail()     // want "result of errdrop.fail discarded by calling it as a statement"
+	_ = fail() // want "error from errdrop.fail discarded with a blank assignment"
+}
+
+// allowed exercises the in-memory-sink allowlist.
+func allowed() string {
+	var b bytes.Buffer
+	b.WriteByte('x')
+	fmt.Fprintf(&b, "%d", 1)
+	return b.String()
+}
+
+// suppressed documents why this particular drop is safe.
+func suppressed() {
+	//lint:ignore errdrop fixture: the error is impossible on this path
+	_ = fail()
+}

@@ -1,0 +1,18 @@
+// Package fixfact is a purity-lint fixture for the factmut rule: writes to
+// a marked type's fields are legal only in this file, the declaring one.
+package fixfact
+
+// Row is an immutable fact: one decoded catalog row.
+type Row struct {
+	Key  uint64
+	Val  uint64
+	Tags []uint64
+}
+
+// NewRow constructs a row; same-file writes are construction, not mutation.
+func NewRow(k, v uint64) Row {
+	var r Row
+	r.Key = k
+	r.Val = v
+	return r
+}

@@ -1,0 +1,14 @@
+package fixfact
+
+// Mutate writes through a published fact from a foreign file.
+func Mutate(r *Row) {
+	r.Val = 7     // want "write to field Val of immutable fact type Row"
+	r.Tags[0] = 1 // want "write to element of field Tags of immutable fact type Row"
+}
+
+// Rebuild documents a decode-style exception.
+func Rebuild(r Row) Row {
+	//lint:ignore factmut fixture: fresh local copy, unpublished until return
+	r.Val = 9
+	return r
+}

@@ -1,0 +1,21 @@
+// Package fixignore is a purity-lint fixture for the suppression grammar
+// itself: a reasonless or misspelled //lint:ignore must be reported and
+// must not suppress anything. Checked by TestIgnoreGrammar, which asserts
+// diagnostics directly (want comments cannot trail a comment-only line).
+package fixignore
+
+import "errors"
+
+func fail() error { return errors.New("x") }
+
+// missingReason omits the mandatory reason.
+func missingReason() {
+	//lint:ignore errdrop
+	_ = fail()
+}
+
+// unknownRule names a rule that does not exist.
+func unknownRule() {
+	//lint:ignore nosuchrule the rule name is misspelled
+	_ = fail()
+}

@@ -1,0 +1,18 @@
+// Package fixdebug is a purity-lint fixture for the nodebug rule: console
+// printing is banned in internal packages (this fixture lives under
+// internal/, so the rule applies to it).
+package fixdebug
+
+import "fmt"
+
+// debug leaks console output two ways.
+func debug() {
+	fmt.Println("dbg") // want "fmt.Println in internal package"
+	println("dbg")     // want "builtin println in internal package"
+}
+
+// suppressed documents a deliberate exception.
+func suppressed() {
+	//lint:ignore nodebug fixture: demonstrating suppression
+	fmt.Println("ok")
+}

@@ -187,7 +187,7 @@ func (p *Pyramid) VerifyPages(at sim.Time) (sim.Time, error) {
 // re-sort after every small Insert batch, the work is done incrementally —
 // only the appended suffix is sorted and then stably merged with the
 // already-sorted prefix (ties take the prefix element, which was inserted
-// earlier, preserving stable order).
+// earlier, preserving stable order). Caller holds mu.
 func (p *Pyramid) sortMemLocked() {
 	if p.memSorted {
 		return

@@ -49,6 +49,7 @@ const NoMedium uint64 = 0
 // MediumRow is one row of the medium table: sectors [Start, End] of medium
 // Source are backed by medium Target at Target's offset TargetOff (sector
 // units), unless overridden by cblocks written directly to Source.
+// Rows are immutable facts: decode, read, re-emit — never write through.
 type MediumRow struct {
 	Source    uint64
 	Start     uint64
@@ -83,6 +84,7 @@ const (
 // Sector units are 512 B (§4.6); SegOff and PhysLen are bytes within the
 // segment's logical space. Inner is 0 for plain writes and nonzero for
 // dedup references into the middle of another write's cblock.
+// Rows are immutable facts: decode, read, re-emit — never write through.
 type AddrRow struct {
 	Medium  uint64
 	Sector  uint64
@@ -107,12 +109,22 @@ func AddrFromFact(f tuple.Fact) AddrRow {
 	}
 }
 
+// RemapAddr returns a copy of an address fact re-pointed at a new physical
+// location, keeping its sequence number. NVRAM replay uses it when a
+// record's data is re-placed into a fresh segment.
+func RemapAddr(f tuple.Fact, seg, segOff, physLen uint64) tuple.Fact {
+	r := AddrFromFact(f)
+	r.Segment, r.SegOff, r.PhysLen = seg, segOff, physLen
+	return r.Fact(f.Seq)
+}
+
 // --- Deduplication table -------------------------------------------------
 
 // DedupRow records that the 512 B block with the given hash lives at sector
 // SectorIdx within the cblock at (Segment, SegOff, PhysLen). Only every
 // eighth block's hash is recorded (§4.7); entries may go stale when GC
 // moves data, so users byte-verify before trusting them.
+// Rows are immutable facts: decode, read, re-emit — never write through.
 type DedupRow struct {
 	Hash      uint64
 	Segment   uint64
@@ -131,6 +143,14 @@ func DedupFromFact(f tuple.Fact) DedupRow {
 	return DedupRow{Hash: f.Cols[0], Segment: f.Cols[1], SegOff: f.Cols[2], PhysLen: f.Cols[3], SectorIdx: f.Cols[4]}
 }
 
+// RemapDedup returns a copy of a dedup fact re-pointed at a new physical
+// location, keeping its sequence number. See RemapAddr.
+func RemapDedup(f tuple.Fact, seg, segOff, physLen uint64) tuple.Fact {
+	r := DedupFromFact(f)
+	r.Segment, r.SegOff, r.PhysLen = seg, segOff, physLen
+	return r.Fact(f.Seq)
+}
+
 // --- Segment table ---------------------------------------------------------
 
 // Segment states.
@@ -144,6 +164,7 @@ const (
 // approximately (§3.3: "we keep approximations and then fix them up by
 // issuing additional reads at runtime"); GC recomputes the truth when it
 // considers the segment.
+// Rows are immutable facts: decode, read, re-emit — never write through.
 type SegmentRow struct {
 	Segment    uint64
 	State      uint64
@@ -163,6 +184,7 @@ func SegmentFromFact(f tuple.Fact) SegmentRow {
 }
 
 // SegmentAURow records that shard Shard of a segment lives on (Drive, AU).
+// Rows are immutable facts: decode, read, re-emit — never write through.
 type SegmentAURow struct {
 	Segment uint64
 	Shard   uint64
@@ -191,6 +213,7 @@ const (
 
 // VolumeRow names a volume or snapshot and points at its current medium.
 // SizeSectors is the thin-provisioned virtual size.
+// Rows are immutable facts: decode, read, re-emit — never write through.
 type VolumeRow struct {
 	Volume      uint64
 	Medium      uint64
@@ -221,6 +244,7 @@ func VolumeFromFact(f tuple.Fact) VolumeRow {
 // ElideRow persists one elide predicate against a base relation. The
 // in-memory elide.Table per relation is materialized from these facts at
 // recovery.
+// Rows are immutable facts: decode, read, re-emit — never write through.
 type ElideRow struct {
 	Table  uint32 // relation ID the predicate applies to
 	Col    uint64

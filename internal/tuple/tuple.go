@@ -41,7 +41,9 @@ func (s Schema) Validate() error {
 	return nil
 }
 
-// Fact is one immutable tuple.
+// Fact is one immutable tuple — an immutable fact in the sense of §3.2:
+// once constructed it is never written through; an update is a new Fact
+// with a higher Seq. (purity-lint's factmut rule enforces this.)
 type Fact struct {
 	Seq  Seq
 	Cols []uint64

@@ -1,16 +1,28 @@
 #!/bin/sh
-# check.sh — the repo's one-command gate. Runs what CI would: vet, build,
-# the full test suite, and a short race pass over the packages that do real
-# concurrency (the parallel write pipeline, its core entry points, and the
-# TCP server's per-connection goroutines).
+# check.sh — the repo's one-command gate. Runs what CI would: formatting,
+# vet, the repo's own invariant checker (purity-lint), build, the full test
+# suite, and a short race pass over the packages that do real concurrency
+# (the parallel write pipeline, its core entry points, the TCP server's
+# per-connection goroutines, and the allocator/shelf locking).
 #
 # Usage: scripts/check.sh            from the repo root
 set -eu
 
 cd "$(dirname "$0")/.."
 
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt: needs formatting:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
 echo "== go vet"
 go vet ./...
+
+echo "== purity-lint (repo invariants: lockcheck factmut crashpointcheck errdrop nodebug)"
+go run ./cmd/purity-lint ./...
 
 echo "== go build"
 go build ./...
@@ -25,7 +37,7 @@ echo "== drive-failure lifecycle (scrub repair + online rebuild)"
 go test -run 'TestScrubRepairsAllInjectedCorruption|TestScrubStepPacedWalkerCoversEverything|TestRebuildRestoresRedundancyAndBootRegion|TestRebuildSurvivesSecondFailure|TestOpenAtWithOneNVRAMFailed' ./internal/core/
 
 echo "== go test -race (concurrency-bearing packages)"
-go test -race -short ./internal/pipeline/ ./internal/server/ ./internal/dedup/
+go test -race -short ./internal/pipeline/ ./internal/server/ ./internal/dedup/ ./internal/layout/ ./internal/shelf/
 go test -race -short -run 'TestConcurrentWriters|TestConcurrentScrubRebuildForeground' ./internal/core/
 
 echo "ok: all checks passed"
