@@ -1,19 +1,22 @@
-// Command purity-lint runs the repo's invariant checker: five rules that
+// Command purity-lint runs the repo's invariant checker: eight rules that
 // enforce the conventions Purity's correctness argument rests on — lock
-// annotations, immutable facts, crash-sweep coverage of durable writes,
-// no dropped errors, no debug prints. See internal/lint and the
-// "Machine-checked invariants" section of DESIGN.md.
+// annotations and path-sensitive lock states, no decoding of unverified
+// flash bytes, allocator-only seqnos, immutable facts, crash-sweep
+// coverage of durable writes, no dropped errors, no debug prints. See
+// internal/lint and the "Machine-checked invariants" section of DESIGN.md.
 //
 // Usage:
 //
 //	go run ./cmd/purity-lint ./...
-//	go run ./cmd/purity-lint -rules lockcheck,factmut ./internal/core
+//	go run ./cmd/purity-lint -rules lockflow,taintverify ./internal/core
+//	go run ./cmd/purity-lint -json ./... > findings.json
 //
 // Exit status 0 when clean, 1 when any diagnostic survives suppression,
 // 2 on load or usage errors.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,13 +26,25 @@ import (
 	"purity/internal/lint"
 )
 
+// jsonDiag is the -json wire form of one diagnostic. The array is emitted
+// in lint.Run's deterministic order (file, line, column, rule), so two
+// runs over the same tree produce byte-identical output.
+type jsonDiag struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Column  int    `json:"column"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+}
+
 func main() {
 	var (
 		ruleList = flag.String("rules", "", "comma-separated subset of rules to run (default: all)")
 		list     = flag.Bool("list", false, "list the available rules and exit")
+		asJSON   = flag.Bool("json", false, "emit diagnostics as a JSON array on stdout")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: purity-lint [-rules r1,r2] [-list] [packages]\n")
+		fmt.Fprintf(os.Stderr, "usage: purity-lint [-rules r1,r2] [-list] [-json] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -72,15 +87,35 @@ func main() {
 		os.Exit(2)
 	}
 	diags := lint.Run(prog, rules)
-	for _, d := range diags {
-		name := d.Pos.Filename
+	relName := func(name string) string {
 		if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
-			name = rel
+			return rel
 		}
-		fmt.Printf("%s:%d: [%s] %s\n", name, d.Pos.Line, d.Rule, d.Message)
+		return name
+	}
+	if *asJSON {
+		out := make([]jsonDiag, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiag{
+				File: relName(d.Pos.Filename), Line: d.Pos.Line, Column: d.Pos.Column,
+				Rule: d.Rule, Message: d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "purity-lint: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Printf("%s:%d: [%s] %s\n", relName(d.Pos.Filename), d.Pos.Line, d.Rule, d.Message)
+		}
+		if len(diags) > 0 {
+			fmt.Printf("purity-lint: %d problem(s)\n", len(diags))
+		}
 	}
 	if len(diags) > 0 {
-		fmt.Printf("purity-lint: %d problem(s)\n", len(diags))
 		os.Exit(1)
 	}
 }

@@ -18,7 +18,7 @@ import (
 func runE5(o Options) error {
 	w := o.Out
 	n := o.scale(200_000, 20_000)
-	build := func(et *elide.Table) (*pyramid.Pyramid, *pyramid.MemStore, error) {
+	build := func(et *elide.Table) (*pyramid.Pyramid, *tuple.SeqSource, error) {
 		store := pyramid.NewMemStore()
 		p, err := pyramid.New(pyramid.Config{
 			ID: 1, Name: "e5", Schema: tuple.Schema{Cols: 3, KeyCols: 1},
@@ -26,9 +26,10 @@ func runE5(o Options) error {
 		if err != nil {
 			return nil, nil, err
 		}
+		seqs := tuple.NewSeqSource(0)
 		batch := make([]tuple.Fact, 0, 1024)
 		for i := 0; i < n; i++ {
-			batch = append(batch, tuple.Fact{Seq: tuple.Seq(i + 1), Cols: []uint64{uint64(i), uint64(i) * 3, 7}})
+			batch = append(batch, tuple.Fact{Seq: seqs.Next(), Cols: []uint64{uint64(i), uint64(i) * 3, 7}})
 			if len(batch) == 1024 {
 				if err := p.Insert(batch); err != nil {
 					return nil, nil, err
@@ -39,31 +40,31 @@ func runE5(o Options) error {
 		if err := p.Insert(batch); err != nil {
 			return nil, nil, err
 		}
-		if _, err := p.Flush(0, tuple.Seq(n)); err != nil {
+		if _, err := p.Flush(0, seqs.Current()); err != nil {
 			return nil, nil, err
 		}
 		if _, err := p.Maintain(0, 1); err != nil {
 			return nil, nil, err
 		}
-		return p, store, nil
+		return p, seqs, nil
 	}
 	// --- Elision ---
 	et := elide.NewTable()
-	pe, _, err := build(et)
+	pe, peSeqs, err := build(et)
 	if err != nil {
 		return err
 	}
-	et.Add(elide.Predicate{Col: 0, Lo: 0, Hi: uint64(n), MaxSeq: tuple.Seq(n)})
+	et.Add(elide.Predicate{Col: 0, Lo: 0, Hi: uint64(n), MaxSeq: peSeqs.Current()})
 	// One merge pass reclaims everything: elided tuples drop immediately.
 	if _, _, err := pe.MergeStep(0); err != nil {
 		return err
 	}
 	// Force a rewrite of the single patch by flushing one more fact and
 	// merging, to show reclaim completes.
-	if err := pe.Insert([]tuple.Fact{{Seq: tuple.Seq(n + 1), Cols: []uint64{uint64(n + 1), 0, 0}}}); err != nil {
+	if err := pe.Insert([]tuple.Fact{{Seq: peSeqs.Next(), Cols: []uint64{uint64(n + 1), 0, 0}}}); err != nil {
 		return err
 	}
-	if _, err := pe.Flush(0, tuple.Seq(n+1)); err != nil {
+	if _, err := pe.Flush(0, peSeqs.Current()); err != nil {
 		return err
 	}
 	if _, err := pe.Maintain(0, 1); err != nil {
@@ -74,17 +75,15 @@ func runE5(o Options) error {
 	fmt.Fprintf(w, "%-26s %16d %16d %16d\n", "Elision (Purity)", 1, pe.Rows()-1, et.Len())
 
 	// --- Tombstones (the conventional approach) ---
-	pt, _, err := build(nil)
+	pt, ptSeqs, err := build(nil)
 	if err != nil {
 		return err
 	}
 	batch := make([]tuple.Fact, 0, 1024)
-	seq := tuple.Seq(n)
 	for i := 0; i < n; i++ {
-		seq++
 		// A tombstone is a per-key record; it shadows the value but must
 		// itself be stored and merged until it reaches the oldest level.
-		batch = append(batch, tuple.Fact{Seq: seq, Cols: []uint64{uint64(i), 0, deadMarker}})
+		batch = append(batch, tuple.Fact{Seq: ptSeqs.Next(), Cols: []uint64{uint64(i), 0, deadMarker}})
 		if len(batch) == 1024 {
 			if err := pt.Insert(batch); err != nil {
 				return err
@@ -95,7 +94,7 @@ func runE5(o Options) error {
 	if err := pt.Insert(batch); err != nil {
 		return err
 	}
-	if _, err := pt.Flush(0, seq); err != nil {
+	if _, err := pt.Flush(0, ptSeqs.Current()); err != nil {
 		return err
 	}
 	if _, err := pt.Maintain(0, 1); err != nil {

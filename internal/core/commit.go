@@ -123,6 +123,8 @@ func (a *Array) nvramAppendLocked(at sim.Time, rec []byte) (sim.Time, error) {
 	return a.nvramAppendOnce(done, rec)
 }
 
+// nvramAppendOnce mirrors one record to the surviving NVRAM devices.
+// Caller holds mu.
 func (a *Array) nvramAppendOnce(at sim.Time, rec []byte) (sim.Time, error) {
 	done := at
 	// A crash here loses the record entirely: the op was never acked.
@@ -136,6 +138,7 @@ func (a *Array) nvramAppendOnce(at sim.Time, rec []byte) (sim.Time, error) {
 			// surviving device.
 			continue
 		}
+		//lint:ignore lockflow the NVRAM append under mu IS the commit point: the record must be durable before the lock releases and the op acks (§4.1)
 		_, d, err := nv.Append(at, rec)
 		if err != nil {
 			if errors.Is(err, nvram.ErrFailed) {

@@ -350,6 +350,7 @@ func (a *Array) evacuateSegmentLocked(at sim.Time, id layout.SegmentID, blocks m
 		if drive.Failed() {
 			continue
 		}
+		//lint:ignore lockflow erase must complete before Free republishes the AUs (free-AUs-are-erased invariant), and GC retirement is a background path, not a foreground op
 		if d, err := drive.Erase(done, au.Offset(a.cfg.Layout)); err == nil && d > done {
 			done = d
 		}

@@ -250,6 +250,7 @@ func (a *Array) rebuildSegmentLocked(at sim.Time, id layout.SegmentID, drive int
 	// Retire the displaced AU. On the replacement device it never held
 	// data; erase keeps the free-AUs-are-erased invariant either way.
 	if drv := a.shelf.Drive(oldAU.Drive); !drv.Failed() {
+		//lint:ignore lockflow erase must complete before Free republishes the AU (free-AUs-are-erased invariant), and rebuild is a background path, not a foreground op
 		if d, err := drv.Erase(done, oldAU.Offset(a.cfg.Layout)); err == nil && d > done {
 			done = d
 		}

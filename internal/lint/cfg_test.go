@@ -1,0 +1,295 @@
+package lint
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseFunc parses one function declaration and returns its body's CFG.
+func parseFunc(t *testing.T, src string) (*CFG, *token.FileSet) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "cfg_test.go", "package p\n"+src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+			return BuildCFG(fd.Body), fset
+		}
+	}
+	t.Fatal("no function in source")
+	return nil, nil
+}
+
+// dumpCFG renders the graph in a stable one-line-per-block format the
+// tests pin: bN{node; node}: edges, where T:/F: are condition polarity and
+// ret:/impl:/panic: are exit-edge kinds.
+func dumpCFG(fset *token.FileSet, c *CFG) string {
+	var sb strings.Builder
+	for _, b := range c.Blocks {
+		fmt.Fprintf(&sb, "b%d{", b.Index)
+		for i, n := range b.Nodes {
+			if i > 0 {
+				sb.WriteString("; ")
+			}
+			var nb bytes.Buffer
+			printer.Fprint(&nb, fset, n)
+			sb.WriteString(strings.Join(strings.Fields(nb.String()), " "))
+		}
+		sb.WriteString("}:")
+		for _, e := range b.Succs {
+			sb.WriteString(" ")
+			switch {
+			case e.Cond != nil && e.CondTrue:
+				fmt.Fprintf(&sb, "T:b%d", e.To.Index)
+			case e.Cond != nil:
+				fmt.Fprintf(&sb, "F:b%d", e.To.Index)
+			case e.Kind == EdgeReturn:
+				fmt.Fprintf(&sb, "ret:b%d", e.To.Index)
+			case e.Kind == EdgeImplicitReturn:
+				fmt.Fprintf(&sb, "impl:b%d", e.To.Index)
+			case e.Kind == EdgePanic:
+				fmt.Fprintf(&sb, "panic:b%d", e.To.Index)
+			default:
+				fmt.Fprintf(&sb, "b%d", e.To.Index)
+			}
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+func checkCFG(t *testing.T, src, want string) {
+	t.Helper()
+	c, fset := parseFunc(t, src)
+	got := strings.TrimSpace(dumpCFG(fset, c))
+	want = strings.TrimSpace(want)
+	if got != want {
+		t.Errorf("CFG mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestCFGIfElse(t *testing.T) {
+	checkCFG(t, `
+func f(x int) int {
+	if x > 0 {
+		x++
+	} else {
+		x--
+	}
+	return x
+}`, `
+b0{x > 0}: T:b2 F:b3
+b1{}:
+b2{x++}: b4
+b3{x--}: b4
+b4{return x}: ret:b1`)
+}
+
+func TestCFGForLabeledBreakContinue(t *testing.T) {
+	checkCFG(t, `
+func g(xs []int) {
+outer:
+	for i := 0; i < len(xs); i++ {
+		for {
+			if xs[i] == 0 {
+				continue outer
+			}
+			break outer
+		}
+	}
+}`, `
+b0{}: b2
+b1{}:
+b2{i := 0}: b3
+b3{i < len(xs)}: T:b4 F:b5
+b4{}: b7
+b5{}: impl:b1
+b6{i++}: b3
+b7{}: b8
+b8{xs[i] == 0}: T:b10 F:b11
+b9{}: b6
+b10{continue outer}: b6
+b11{break outer}: b5`)
+}
+
+func TestCFGGotoForward(t *testing.T) {
+	checkCFG(t, `
+func h(n int) {
+	if n == 0 {
+		goto done
+	}
+	n--
+done:
+	println(n)
+}`, `
+b0{n == 0}: T:b2 F:b3
+b1{}:
+b2{goto done}: b4
+b3{n--}: b4
+b4{println(n)}: impl:b1`)
+}
+
+func TestCFGGotoBackward(t *testing.T) {
+	checkCFG(t, `
+func loop(n int) {
+again:
+	n--
+	if n > 0 {
+		goto again
+	}
+}`, `
+b0{}: b2
+b1{}:
+b2{n--; n > 0}: T:b3 F:b4
+b3{goto again}: b2
+b4{}: impl:b1`)
+}
+
+func TestCFGSwitchFallthrough(t *testing.T) {
+	checkCFG(t, `
+func sw(n int) int {
+	switch n {
+	case 0:
+		n = 1
+		fallthrough
+	case 1:
+		n = 2
+	default:
+		n = 3
+	}
+	return n
+}`, `
+b0{n}: b3 b4 b5
+b1{}:
+b2{return n}: ret:b1
+b3{0; n = 1; fallthrough}: b4
+b4{1; n = 2}: b2
+b5{n = 3}: b2`)
+}
+
+func TestCFGSwitchNoDefault(t *testing.T) {
+	checkCFG(t, `
+func sw2(n int) {
+	switch {
+	case n > 0:
+		n = 1
+	}
+	n = 2
+}`, `
+b0{}: b3 b2
+b1{}:
+b2{n = 2}: impl:b1
+b3{n > 0; n = 1}: b2`)
+}
+
+func TestCFGSelect(t *testing.T) {
+	checkCFG(t, `
+func sel(a, b chan int) int {
+	select {
+	case v := <-a:
+		return v
+	case <-b:
+	}
+	return 0
+}`, `
+b0{}: b3 b4
+b1{}:
+b2{return 0}: ret:b1
+b3{v := <-a; return v}: ret:b1
+b4{<-b}: b2`)
+}
+
+func TestCFGRangeDeferPanic(t *testing.T) {
+	checkCFG(t, `
+func r(xs []int) {
+	defer cleanup()
+	for _, x := range xs {
+		if x < 0 {
+			panic("neg")
+		}
+	}
+}`, `
+b0{defer cleanup()}: b2
+b1{}:
+b2{xs}: b3 b4
+b3{x < 0}: T:b5 F:b6
+b4{}: impl:b1
+b5{panic("neg")}: panic:b1
+b6{}: b2`)
+}
+
+// sawAssignX is a minimal dataflow problem (bool lattice, Join = OR) used
+// to pin solver behavior: joins at merge points and dead-block skipping.
+type sawAssignX struct{}
+
+func (sawAssignX) Entry() bool                { return false }
+func (sawAssignX) Refine(_ Edge, s bool) bool { return s }
+func (sawAssignX) Join(a, b bool) bool        { return a || b }
+func (sawAssignX) Equal(a, b bool) bool       { return a == b }
+func (sawAssignX) Transfer(n ast.Node, s bool) bool {
+	if as, ok := n.(*ast.AssignStmt); ok {
+		for _, l := range as.Lhs {
+			if id, ok := l.(*ast.Ident); ok && id.Name == "x" {
+				return true
+			}
+		}
+	}
+	return s
+}
+
+func TestSolveJoinAndReachability(t *testing.T) {
+	c, _ := parseFunc(t, `
+func f(cond bool) int {
+	x := 0
+	if cond {
+		x = 1
+	}
+	return x
+	x = 2
+}`)
+	sol := Solve[bool](c, sawAssignX{})
+	if !sol.Reached(c.Exit) {
+		t.Fatal("exit not reached")
+	}
+	if got := sol.In[c.Exit]; !got {
+		t.Errorf("state at exit = %v, want true (x assigned on entry block)", got)
+	}
+	// The statement after return is dead: its block must stay unvisited.
+	for _, b := range c.Blocks {
+		for _, n := range b.Nodes {
+			if as, ok := n.(*ast.AssignStmt); ok {
+				var buf bytes.Buffer
+				printer.Fprint(&buf, token.NewFileSet(), as)
+				if strings.Contains(buf.String(), "x = 2") && sol.Reached(b) {
+					t.Errorf("dead block %d reached by solver", b.Index)
+				}
+			}
+		}
+	}
+}
+
+func TestSolveLoopFixpoint(t *testing.T) {
+	c, _ := parseFunc(t, `
+func f(n int) {
+	for i := 0; i < n; i++ {
+		if i == 3 {
+			x := i
+			_ = x
+		}
+	}
+}`)
+	sol := Solve[bool](c, sawAssignX{})
+	// The loop's back edge carries "x assigned" into the header, so the
+	// exit (reached via the loop condition's false edge) joins to true.
+	if got := sol.In[c.Exit]; !got {
+		t.Errorf("state at exit = %v, want true via loop back edge", got)
+	}
+}

@@ -53,6 +53,9 @@ func (r *Reporter) Reportf(rule string, pos token.Pos, format string, args ...an
 func DefaultRules() []Rule {
 	return []Rule{
 		&LockCheck{},
+		&LockFlow{},
+		&TaintVerify{},
+		&SeqMono{},
 		&FactMut{},
 		&CrashPointCheck{},
 		&ErrDrop{},

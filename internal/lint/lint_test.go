@@ -89,6 +89,12 @@ func runFixture(t *testing.T, name string, rules []Rule) {
 
 func TestLockCheckFixture(t *testing.T) { runFixture(t, "lockcheck", []Rule{&LockCheck{}}) }
 
+func TestLockFlowFixture(t *testing.T) { runFixture(t, "lockflow", []Rule{&LockFlow{}}) }
+
+func TestTaintVerifyFixture(t *testing.T) { runFixture(t, "taintverify", []Rule{&TaintVerify{}}) }
+
+func TestSeqMonoFixture(t *testing.T) { runFixture(t, "seqmono", []Rule{&SeqMono{}}) }
+
 func TestFactMutFixture(t *testing.T) { runFixture(t, "factmut", []Rule{&FactMut{}}) }
 
 func TestCrashPointCheckFixture(t *testing.T) {

@@ -13,18 +13,23 @@ import (
 // function that requires its receiver's mutex:
 //
 //   - A call to an annotated function is legal only from a context that
-//     holds the lock: the caller is itself annotated, or it acquired the
-//     same receiver's mu (Lock or RLock) earlier in its body.
+//     holds the lock: the caller is itself annotated, or the receiver's
+//     mu is held (Lock or RLock) on the path reaching the call.
 //   - A method named *Locked must carry the annotation, so the naming
 //     convention and the machine-checked one cannot drift apart.
-//   - While a function holds a write lock to the end of its body
-//     (mu.Lock with a deferred mu.Unlock and no early unlock), it must not
-//     call back into a method of the same receiver that acquires mu —
-//     self-deadlock, sync.Mutex being non-reentrant.
+//   - A call made while the receiver's write lock is definitely held,
+//     into a method that acquires the same receiver's mu, is a
+//     self-deadlock — sync.Mutex being non-reentrant.
 //
-// The analysis is intra-procedural and keys receivers by selector chain
-// ("a", "a.pyr"), which matches how the repo writes its hot paths; calls
-// through function values or across goroutines are out of scope.
+// Since PR 5 the held/not-held question is answered by the same
+// path-sensitive lock lattice lockflow solves (see lockflow.go), not by
+// source positions: a lock released before the call no longer counts as
+// held, and a lock held only on some paths (lockSome) gets the benefit of
+// the doubt. The analysis remains intra-procedural and keys receivers by
+// selector chain ("a", "a.pyr"); calls through function values or across
+// goroutines are out of scope. Function literals inherit their enclosing
+// declaration's annotation, matching how the repo uses short literals
+// under a held lock.
 type LockCheck struct {
 	funcs map[*types.Func]*lockFuncInfo
 }
@@ -40,32 +45,10 @@ func hasCallerHolds(doc string) bool {
 	return callerHoldsRE.MatchString(strings.Join(strings.Fields(doc), " "))
 }
 
-type lockAcq struct {
-	chain string // exprKey of the mutex itself ("a.mu" for a.mu.Lock())
-	write bool   // Lock vs RLock
-	pos   token.Pos
-}
-
 type lockFuncInfo struct {
-	pkg         *Package
-	decl        *ast.FuncDecl
-	recvName    string
-	callerHolds bool
-	acquires    []lockAcq
-	// deferred/explicit unlocks by mutex chain, for the self-deadlock check.
-	deferUnlock map[string]bool
-	earlyUnlock map[string]bool
-}
-
-// acquiresOwnMu reports whether the function takes its own receiver's mu
-// field specifically — a.lostMu and other sibling mutexes do not count.
-func (fi *lockFuncInfo) acquiresOwnMu() bool {
-	for _, a := range fi.acquires {
-		if fi.recvName != "" && a.chain == fi.recvName+".mu" {
-			return true
-		}
-	}
-	return false
+	recvName      string
+	callerHolds   bool
+	acquiresOwnMu bool // the body locks its own receiver's mu field
 }
 
 func (*LockCheck) Name() string { return "lockcheck" }
@@ -87,66 +70,43 @@ func (lc *LockCheck) Prepare(prog *Program) {
 					continue
 				}
 				fi := &lockFuncInfo{
-					pkg:         pkg,
-					decl:        fd,
+					recvName:    recvIdentName(fd),
 					callerHolds: hasCallerHolds(fd.Doc.Text()),
-					deferUnlock: map[string]bool{},
-					earlyUnlock: map[string]bool{},
 				}
-				if fd.Recv != nil && len(fd.Recv.List) > 0 && len(fd.Recv.List[0].Names) > 0 {
-					fi.recvName = fd.Recv.List[0].Names[0].Name
-				}
-				lc.scanLockOps(pkg, fd, fi)
+				fi.acquiresOwnMu = acquiresOwnMu(pkg, fd, fi.recvName)
 				lc.funcs[obj] = fi
 			}
 		}
 	}
 }
 
-// scanLockOps records every mutex Lock/RLock/Unlock/RUnlock in the body,
-// keyed by the full chain of the mutex expression ("a.mu" for
-// a.mu.Lock()), so sibling mutexes on the same receiver (a.mu, a.lostMu)
-// never alias each other.
-func (lc *LockCheck) scanLockOps(pkg *Package, fd *ast.FuncDecl, fi *lockFuncInfo) {
-	record := func(call *ast.CallExpr, deferred bool) {
-		sel, ok := call.Fun.(*ast.SelectorExpr)
-		if !ok {
-			return
+// acquiresOwnMu reports whether the body takes its own receiver's mu
+// field specifically — a.lostMu and other sibling mutexes do not count.
+func acquiresOwnMu(pkg *Package, fd *ast.FuncDecl, recvName string) bool {
+	if recvName == "" {
+		return false
+	}
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return !found
 		}
 		fn := calleeFunc(pkg.Info, call)
 		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
-			return
+			return true
 		}
-		chain := exprKey(pkg.pkgFset(), sel.X)
-		switch fn.Name() {
-		case "Lock":
-			fi.acquires = append(fi.acquires, lockAcq{chain: chain, write: true, pos: call.Pos()})
-		case "RLock":
-			fi.acquires = append(fi.acquires, lockAcq{chain: chain, write: false, pos: call.Pos()})
-		case "Unlock", "RUnlock":
-			if deferred {
-				fi.deferUnlock[chain] = true
-			} else {
-				fi.earlyUnlock[chain] = true
+		if fn.Name() != "Lock" && fn.Name() != "RLock" {
+			return true
+		}
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if exprKey(pkg.pkgFset(), sel.X) == recvName+".mu" {
+				found = true
 			}
 		}
-	}
-	// Inspect visits a deferred call twice: as the DeferStmt's child and as
-	// a plain CallExpr. Remember the deferred ones so the second visit does
-	// not re-record them as early unlocks.
-	deferred := map[*ast.CallExpr]bool{}
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.DeferStmt:
-			deferred[n.Call] = true
-			record(n.Call, true)
-		case *ast.CallExpr:
-			if !deferred[n] {
-				record(n, false)
-			}
-		}
-		return true
+		return !found
 	})
+	return found
 }
 
 func isMutexType(t types.Type) bool {
@@ -166,13 +126,13 @@ func (lc *LockCheck) Check(prog *Program, pkg *Package, rep *Reporter) {
 				continue
 			}
 			obj, _ := pkg.Info.Defs[fd.Name].(*types.Func)
-			fi := lc.funcs[obj]
-			if fi == nil {
-				continue
+			if fi := lc.funcs[obj]; fi != nil {
+				lc.checkNaming(pkg, fd, fi, rep)
 			}
-			lc.checkNaming(pkg, fd, fi, rep)
-			lc.checkCalls(prog, pkg, fd, fi, rep)
 		}
+	}
+	for _, fb := range packageBodies(pkg) {
+		lc.checkCalls(pkg, fb, rep)
 	}
 }
 
@@ -209,58 +169,68 @@ func structHasMutex(n *types.Named) bool {
 	return false
 }
 
-// checkCalls walks the body once, flagging (1) calls to annotated
-// functions from contexts that provably do not hold the lock and (2)
-// self-deadlocking calls made while a write lock is held to function end.
-func (lc *LockCheck) checkCalls(prog *Program, pkg *Package, fd *ast.FuncDecl, fi *lockFuncInfo, rep *Reporter) {
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		callee := calleeFunc(pkg.Info, call)
-		if callee == nil {
-			return true
-		}
-		ci := lc.funcs[callee]
-
-		recvKey := ""
-		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
-			recvKey = exprKey(pkg.pkgFset(), sel.X)
-		}
-
-		// (1) Annotated callee: the caller must hold the lock.
-		if ci != nil && ci.callerHolds && !fi.callerHolds {
-			held := false
-			for _, a := range fi.acquires {
-				if a.chain == recvKey+".mu" && a.pos < call.Pos() {
-					held = true
-					break
-				}
+// checkCalls solves the lock lattice for one body and replays it, flagging
+// (1) calls to annotated functions on paths that provably do not hold the
+// lock and (2) calls into lock-acquiring methods of a receiver whose
+// write lock is definitely held at the call — self-deadlock.
+func (lc *LockCheck) checkCalls(pkg *Package, fb funcBody, rep *Reporter) {
+	// Literals inherit the enclosing declaration's annotation status; the
+	// repo's literals run short critical-section bodies, not goroutines
+	// that outlive the lock.
+	var callerHolds bool
+	if fb.decl != nil {
+		if obj, ok := pkg.Info.Defs[fb.decl.Name].(*types.Func); ok {
+			if fi := lc.funcs[obj]; fi != nil {
+				callerHolds = fi.callerHolds
 			}
-			if !held {
+		}
+	}
+	p := &lockProblem{pkg: pkg, entry: entryLockState(funcBody{decl: fb.decl, body: fb.body})}
+	sol := Solve[lockState](BuildCFG(fb.body), p)
+	sol.Replay(p, func(n ast.Node, s lockState) {
+		inspectNoFuncLit(n, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeFunc(pkg.Info, call)
+			if callee == nil {
+				return true
+			}
+			ci := lc.funcs[callee]
+			if ci == nil {
+				return true
+			}
+			recvKey := ""
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				recvKey = exprKey(pkg.pkgFset(), sel.X)
+			}
+			muState := s[recvKey+".mu"]
+
+			// (1) Annotated callee: the caller must hold the lock here.
+			if ci.callerHolds && !callerHolds && !muState.mode.held() && muState.mode != lockSome {
 				rep.Reportf("lockcheck", call.Pos(),
-					"call to %s, which requires %q, but %s is not annotated and never locks %s.mu",
-					callee.Name(), "Caller holds mu.", describeFunc(fd), orReceiver(recvKey))
+					"call to %s, which requires %q, but %s does not hold %s.mu on this path",
+					callee.Name(), "Caller holds mu.", describeBody(fb), orReceiver(recvKey))
 			}
-		}
 
-		// (2) Self-deadlock: write lock held to end of body, then a call
-		// back into a lock-acquiring method of the same receiver.
-		if ci != nil && ci.acquiresOwnMu() && recvKey != "" {
-			muKey := recvKey + ".mu"
-			for _, a := range fi.acquires {
-				if a.write && a.chain == muKey && a.pos < call.Pos() &&
-					fi.deferUnlock[muKey] && !fi.earlyUnlock[muKey] {
-					rep.Reportf("lockcheck", call.Pos(),
-						"%s holds %s.mu (deferred unlock) and calls %s, which acquires %s.mu: self-deadlock",
-						describeFunc(fd), recvKey, callee.Name(), recvKey)
-					break
-				}
+			// (2) Self-deadlock: write lock definitely held at a call into
+			// a method that acquires the same receiver's mu.
+			if ci.acquiresOwnMu && recvKey != "" && muState.mode == lockWrite {
+				rep.Reportf("lockcheck", call.Pos(),
+					"%s holds %s.mu and calls %s, which acquires %s.mu: self-deadlock",
+					describeBody(fb), recvKey, callee.Name(), recvKey)
 			}
-		}
-		return true
+			return true
+		})
 	})
+}
+
+func describeBody(fb funcBody) string {
+	if fb.lit != nil {
+		return "function literal in " + describeFunc(fb.decl)
+	}
+	return describeFunc(fb.decl)
 }
 
 func describeFunc(fd *ast.FuncDecl) string {

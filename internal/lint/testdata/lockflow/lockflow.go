@@ -1,0 +1,134 @@
+// Package fixflow is a purity-lint fixture for the lockflow rule: every
+// // want comment marks a line where the path-sensitive lock analysis
+// must report, and the //lint:ignore below proves suppression works. The
+// package is loaded only by lint_test.go.
+package fixflow
+
+import (
+	"errors"
+	"sync"
+
+	"purity/internal/ssd"
+)
+
+var errBoom = errors.New("boom")
+
+type guarded struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+}
+
+// EarlyReturn forgets the unlock on the error path — the seeded
+// early-return unlock gap from the issue.
+func (g *guarded) EarlyReturn(fail bool) error {
+	g.mu.Lock()
+	if fail {
+		return errBoom // want "still held"
+	}
+	g.mu.Unlock()
+	return nil
+}
+
+// DeferIsFine releases on every path through the deferred unlock.
+func (g *guarded) DeferIsFine(fail bool) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if fail {
+		return errBoom
+	}
+	g.n++
+	return nil
+}
+
+// BothPathsUnlock is clean: each branch releases before returning.
+func (g *guarded) BothPathsUnlock(fail bool) error {
+	g.mu.Lock()
+	if fail {
+		g.mu.Unlock()
+		return errBoom
+	}
+	g.n++
+	g.mu.Unlock()
+	return nil
+}
+
+// DoubleLock re-acquires a mutex this path already write-holds.
+func (g *guarded) DoubleLock() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.mu.Lock() // want "already write-locked"
+	g.n++
+}
+
+// DoubleUnlock releases twice on the same path.
+func (g *guarded) DoubleUnlock() {
+	g.mu.Lock()
+	g.n++
+	g.mu.Unlock()
+	g.mu.Unlock() // want "not held on this path"
+}
+
+// DeferredDoubleUnlock registers a deferred unlock and then also releases
+// explicitly, so the defer fires on a free mutex.
+func (g *guarded) DeferredDoubleUnlock() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.n++
+	g.mu.Unlock()
+	// fall off the end
+} // want "double unlock"
+
+// UpgradeDeadlock tries to upgrade a read lock in place.
+func (g *guarded) UpgradeDeadlock() {
+	g.rw.RLock()
+	g.rw.Lock() // want "lock upgrade deadlocks"
+	g.rw.Unlock()
+}
+
+// WrongUnlockMode releases a read lock with the writer's Unlock.
+func (g *guarded) WrongUnlockMode() {
+	g.rw.RLock()
+	g.n = 1
+	g.rw.Unlock() // want "use RUnlock"
+}
+
+// FlushUnderLock issues flash I/O while holding the write lock — the
+// latency invariant the prepare/commit split exists to protect.
+func (g *guarded) FlushUnderLock(d *ssd.Device, buf []byte) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	_, _ = d.WriteAt(0, buf, 0) // want "durable I/O"
+}
+
+// PanicPathIsExempt: the panic exit owes no unlock (the process is going
+// down); the normal path releases via defer.
+func (g *guarded) PanicPathIsExempt(bad bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if bad {
+		panic("invariant violated")
+	}
+	g.n++
+}
+
+// LoopRelock is clean: each iteration pairs Lock with Unlock, so the back
+// edge carries a free mutex into the next acquisition.
+func (g *guarded) LoopRelock(rounds int) {
+	for i := 0; i < rounds; i++ {
+		g.mu.Lock()
+		g.n++
+		g.mu.Unlock()
+	}
+}
+
+// Suppressed documents why the leak is intentional.
+func (g *guarded) Suppressed(fail bool) error {
+	g.mu.Lock()
+	if fail {
+		//lint:ignore lockflow fixture: lock ownership is handed to the caller on this path
+		return errBoom
+	}
+	g.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,77 @@
+// Package fixseq is a purity-lint fixture for the seqmono rule: every
+// // want comment marks a line where a fact's seqno provenance must be
+// reported, and the //lint:ignore below proves suppression works. The
+// package is loaded only by lint_test.go.
+package fixseq
+
+import "purity/internal/tuple"
+
+// row mimics the relation row builders: a Fact(seq) constructor.
+type row struct{ k uint64 }
+
+func (r row) Fact(seq tuple.Seq) tuple.Fact {
+	return tuple.Fact{Seq: seq, Cols: []uint64{r.k}}
+}
+
+// Literal invents a seqno out of thin air — the seeded violation.
+func Literal() tuple.Fact {
+	return tuple.Fact{Seq: 42, Cols: []uint64{1}} // want "literal seqno"
+}
+
+// Arithmetic computes a seqno from an allocated one.
+func Arithmetic(seqs *tuple.SeqSource) tuple.Fact {
+	s := seqs.Next()
+	return tuple.Fact{Seq: s + 1, Cols: []uint64{1}} // want "seqno arithmetic"
+}
+
+// Converted launders an integer into a seqno.
+func Converted(n int) tuple.Fact {
+	return row{1}.Fact(tuple.Seq(n)) // want "conversion"
+}
+
+// Watermark stamps the allocator's current position instead of drawing a
+// fresh number.
+func Watermark(seqs *tuple.SeqSource) tuple.Fact {
+	return row{1}.Fact(seqs.Current()) // want "Current"
+}
+
+// Reuse stamps two facts with one allocation.
+func Reuse(seqs *tuple.SeqSource) []tuple.Fact {
+	s := seqs.Next()
+	a := row{1}.Fact(s)
+	b := row{2}.Fact(s) // want "already stamped"
+	return []tuple.Fact{a, b}
+}
+
+// LoopReuse is the same bug hidden behind a back edge: every iteration
+// after the first reuses the seqno allocated outside the loop.
+func LoopReuse(seqs *tuple.SeqSource) []tuple.Fact {
+	out := make([]tuple.Fact, 0, 3)
+	s := seqs.Next()
+	for i := uint64(0); i < 3; i++ {
+		out = append(out, row{i}.Fact(s)) // want "already stamped"
+	}
+	return out
+}
+
+// FreshPerFact is the clean pattern: one Next per construction, directly
+// or through a reassigned variable.
+func FreshPerFact(seqs *tuple.SeqSource) []tuple.Fact {
+	a := row{1}.Fact(seqs.Next())
+	s := seqs.Next()
+	b := row{2}.Fact(s)
+	s = seqs.Next()
+	c := row{3}.Fact(s)
+	return []tuple.Fact{a, b, c}
+}
+
+// CopiedFields are fine: rewriting an existing fact carries its seqno.
+func CopiedFields(f tuple.Fact) tuple.Fact {
+	return tuple.Fact{Seq: f.Seq, Cols: f.Cols}
+}
+
+// Suppressed documents why a fixed seqno is safe here.
+func Suppressed() tuple.Fact {
+	//lint:ignore seqmono fixture: bootstrap fact, seq zero is reserved by the format
+	return tuple.Fact{Seq: 0, Cols: []uint64{1}}
+}

@@ -1,0 +1,91 @@
+// Package fixtaint is a purity-lint fixture for the taintverify rule:
+// every // want comment marks a line where decoding unverified flash
+// bytes must be reported, and the //lint:ignore below proves suppression
+// works. The package is loaded only by lint_test.go.
+package fixtaint
+
+import (
+	"errors"
+	"hash/crc32"
+
+	"purity/internal/sim"
+	"purity/internal/ssd"
+	"purity/internal/tuple"
+)
+
+var errChecksum = errors.New("checksum mismatch")
+
+var schema = tuple.Schema{Cols: 2, KeyCols: 1}
+
+// DecodeRaw decodes drive bytes with no CRC check at all — the seeded
+// decode-before-verify violation from the issue.
+func DecodeRaw(d *ssd.Device, at sim.Time) ([]tuple.Fact, error) {
+	buf := make([]byte, 4096)
+	if _, err := d.ReadAt(at, buf, 0); err != nil {
+		return nil, err
+	}
+	facts, _, err := tuple.DecodeBatch(buf, schema) // want "unverified flash bytes"
+	return facts, err
+}
+
+// DecodeChecked verifies the whole buffer against an expected CRC before
+// decoding: clean, because the decode is only reachable on the matching
+// branch.
+func DecodeChecked(d *ssd.Device, at sim.Time, want uint32) ([]tuple.Fact, error) {
+	buf := make([]byte, 4096)
+	if _, err := d.ReadAt(at, buf, 0); err != nil {
+		return nil, err
+	}
+	if crc32.ChecksumIEEE(buf) != want {
+		return nil, errChecksum
+	}
+	facts, _, err := tuple.DecodeBatch(buf, schema)
+	return facts, err
+}
+
+// DecodeWrongBranch checks the CRC but decodes on the failing branch —
+// only the mismatch path is reported.
+func DecodeWrongBranch(d *ssd.Device, at sim.Time, want uint32) ([]tuple.Fact, error) {
+	buf := make([]byte, 4096)
+	if _, err := d.ReadAt(at, buf, 0); err != nil {
+		return nil, err
+	}
+	if crc32.ChecksumIEEE(buf) == want {
+		facts, _, err := tuple.DecodeBatch(buf, schema)
+		return facts, err
+	}
+	facts, _, err := tuple.DecodeBatch(buf, schema) // want "unverified flash bytes"
+	return facts, err
+}
+
+// TaintFlowsThroughCopies: slicing, copy, and re-assignment all keep the
+// taint alive until a check happens.
+func TaintFlowsThroughCopies(d *ssd.Device, at sim.Time) (tuple.Fact, error) {
+	raw := make([]byte, 4096)
+	if _, err := d.ReadAt(at, raw, 0); err != nil {
+		return tuple.Fact{}, err
+	}
+	scratch := make([]byte, 512)
+	copy(scratch, raw[64:])
+	record := scratch[:128]
+	f, _, err := tuple.Decode(record, schema) // want "unverified flash bytes"
+	return f, err
+}
+
+// FreshBufferIsClean never touches the device; decoding it is fine.
+func FreshBufferIsClean() (tuple.Fact, error) {
+	buf := make([]byte, 64)
+	f, _, err := tuple.Decode(buf, schema)
+	return f, err
+}
+
+// Suppressed documents why decoding without a CRC is safe here.
+func Suppressed(d *ssd.Device, at sim.Time) ([]tuple.Fact, error) {
+	buf := make([]byte, 4096)
+	if _, err := d.ReadAt(at, buf, 0); err != nil {
+		return nil, err
+	}
+	//lint:ignore taintverify fixture: the decode output feeds a verifier, not the engine
+	facts, _, err := tuple.DecodeBatch(buf, schema)
+	return facts, err
+}

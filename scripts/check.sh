@@ -21,8 +21,11 @@ fi
 echo "== go vet"
 go vet ./...
 
-echo "== purity-lint (repo invariants: lockcheck factmut crashpointcheck errdrop nodebug)"
-go run ./cmd/purity-lint ./...
+echo "== purity-lint (repo invariants: lockcheck lockflow taintverify seqmono factmut crashpointcheck errdrop nodebug)"
+lintdir=$(mktemp -d)
+trap 'rm -rf "$lintdir"' EXIT
+go build -o "$lintdir/purity-lint" ./cmd/purity-lint
+"$lintdir/purity-lint" ./...
 
 echo "== go build"
 go build ./...
