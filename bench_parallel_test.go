@@ -6,13 +6,13 @@ package purity
 // workload — the same (volume, offset, content) write sequence — from a
 // single goroutine. The ratio of their MB/s is the pipeline's real-time
 // scaling. Each writer lane owns a volume and a generator seed, so the
-// streams are disjoint compressible database pages: the commit section
-// still serializes every write, but compression and dedup hashing run on
-// the caller's core. On a single-core host the ratio degenerates to ~1×
-// (there is no second core to run the prepare stage on); see
-// BenchmarkWriteStages in internal/core for the serial-fraction
-// measurement that projects multi-core scaling, and EXPERIMENTS.md E11
-// for recorded numbers.
+// streams are disjoint compressible database pages: with CommitLanes = 1
+// the commit section still serializes every write, but compression and
+// dedup hashing run on the caller's core. On a single-core host the ratio
+// degenerates to ~1× (there is no second core to run the prepare stage
+// on); see BenchmarkWriteStages in internal/core for the serial-fraction
+// measurement, and EXPERIMENTS.md E13 for the measured multi-lane
+// scaling experiment that replaced E10's projection.
 
 import (
 	"fmt"

@@ -23,12 +23,14 @@ import (
 
 func main() {
 	drives := flag.Int("drives", 11, "SSDs in the shelf")
+	lanes := flag.Int("lanes", 4, "sharded commit lanes (1 = classic serial commit path)")
 	health := flag.Bool("health", false, "run a drive-failure lifecycle and dump drive health, wear and repair counters")
 	flag.Parse()
 
 	cfg := core.DefaultConfig()
 	cfg.Shelf.Drives = *drives
 	cfg.Shelf.DriveConfig.Capacity = 128 << 20
+	cfg.CommitLanes = *lanes
 	arr, err := core.Format(cfg)
 	if err != nil {
 		log.Fatal(err)
@@ -119,6 +121,18 @@ func main() {
 		st.FlashStats.HostBytesWritten>>20, st.FlashStats.Erases)
 	fmt.Printf("write latency: %s\n", st.WriteLatency.Summary())
 	fmt.Printf("read latency:  %s\n", st.ReadLatency.Summary())
+
+	if lt := arr.LaneTelemetry(); len(lt.Lanes) > 0 {
+		fmt.Println("\n=== commit lanes ===")
+		fmt.Printf("%-6s %-8s %-12s %-14s %-12s %-13s %s\n",
+			"LANE", "commits", "batches led", "batch records", "queue waits", "interleaves", "rotations")
+		for _, ls := range lt.Lanes {
+			fmt.Printf("%-6d %-8d %-12d %-14d %-12d %-13d %d\n",
+				ls.Lane, ls.Commits, ls.BatchesLed, ls.BatchRecords,
+				ls.QueueWaits, ls.SeqInterleaves, ls.Rotations)
+		}
+		fmt.Printf("max committer queue depth: %d\n", lt.MaxQueueDepth)
+	}
 }
 
 // inspectHealth runs the drive-failure lifecycle — latent corruption,

@@ -26,6 +26,7 @@ func main() {
 	driveMiB := flag.Int64("drive-mib", 256, "capacity per drive, MiB")
 	noDedup := flag.Bool("no-dedup", false, "disable inline deduplication")
 	noCompress := flag.Bool("no-compress", false, "disable inline compression")
+	lanes := flag.Int("lanes", 4, "sharded commit lanes (1 = classic serial commit path)")
 	flag.Parse()
 
 	cfg := core.DefaultConfig()
@@ -33,13 +34,14 @@ func main() {
 	cfg.Shelf.DriveConfig.Capacity = *driveMiB << 20
 	cfg.DedupEnabled = !*noDedup
 	cfg.CompressionEnabled = !*noCompress
+	cfg.CommitLanes = *lanes
 
 	pair, err := controller.NewPair(controller.DefaultConfig(), cfg)
 	if err != nil {
 		log.Fatalf("format: %v", err)
 	}
-	fmt.Printf("purity-server: %d drives x %d MiB (raw %d MiB), dedup=%v compress=%v\n",
-		*drives, *driveMiB, int64(*drives)**driveMiB, !*noDedup, !*noCompress)
+	fmt.Printf("purity-server: %d drives x %d MiB (raw %d MiB), dedup=%v compress=%v lanes=%d\n",
+		*drives, *driveMiB, int64(*drives)**driveMiB, !*noDedup, !*noCompress, *lanes)
 
 	serve := func(addr string, via controller.Role, label string) net.Listener {
 		l, err := net.Listen("tcp", addr)

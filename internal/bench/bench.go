@@ -54,6 +54,7 @@ func Experiments() []Experiment {
 		{"E8", "§5.1: write amplification, wear and scrub", runE8},
 		{"E9", "§2.3: one array vs disk-based key-value nodes", runE9},
 		{"E12", "§4.2/§5.1: drive-failure lifecycle — corruption, scrub, online rebuild", runE12},
+		{"E13", "§3.2: sharded commit lanes — measured multi-core write scaling", runE13},
 		{"A1", "Ablations: sampling, compression, stagger, RS geometry", runA1},
 		{"CS", "§4.3: crash-consistency sweep over every fault point", runCS},
 	}

@@ -9,8 +9,8 @@ import (
 // TestExperimentRegistry ensures the index is complete and addressable.
 func TestExperimentRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 17 {
-		t.Fatalf("experiment count = %d, want 17", len(exps))
+	if len(exps) != 18 {
+		t.Fatalf("experiment count = %d, want 18", len(exps))
 	}
 	seen := map[string]bool{}
 	for _, e := range exps {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"purity/internal/crashpoint"
 	"purity/internal/dedup"
@@ -51,6 +52,25 @@ type Array struct {
 	pool *pipeline.Pool
 
 	mu sync.Mutex
+
+	// world gates the sharded commit path (Config.CommitLanes > 1): lane
+	// commits hold it in read mode for their whole critical section, and
+	// every maintenance or mutating entry point (GC, scrub, rebuild,
+	// checkpoint, volume catalog changes) takes it in write mode first, so
+	// cross-volume invariants see a quiesced commit plane. Lock order:
+	// world → mu → lane.mu. In single-lane mode it is uncontended.
+	world sync.RWMutex
+	// lanes are the commit shards (nil ⇒ single-lane mode); committer is
+	// their shared batching NVRAM commit point.
+	lanes     []*commitLane
+	committer *nvCommitter
+	// laneInflight counts lane commits currently holding world in read
+	// mode. nvramAppendLocked must not checkpoint (a whole-NVRAM-log trim)
+	// while any are in flight: another lane's record could be durable but
+	// not yet applied, and trimming it would lose an acked write across a
+	// crash. Checkpoints therefore only run at world-exclusive points,
+	// where this count is provably zero.
+	laneInflight atomic.Int64
 
 	seqs        *tuple.SeqSource
 	nextMedium  uint64
@@ -223,6 +243,13 @@ func newSkeleton(cfg Config, sh *shelf.Shelf) (*Array, error) {
 	}
 	a.boot.SetCrash(cfg.Crash)
 	a.reader.SetShardLost(a.shardLost)
+	if cfg.CommitLanes > 1 {
+		a.lanes = make([]*commitLane, cfg.CommitLanes)
+		for i := range a.lanes {
+			a.lanes[i] = newCommitLane(i)
+		}
+		a.committer = &nvCommitter{a: a}
+	}
 	for _, id := range []uint32{
 		relation.IDMediums, relation.IDAddrs, relation.IDDedup,
 		relation.IDSegments, relation.IDSegmentAUs, relation.IDVolumes, relation.IDElide,
@@ -355,6 +382,19 @@ func (a *Array) ensureOpenLocked(at sim.Time, class segClass) (*layout.Writer, s
 	if w := a.open[class]; w != nil {
 		return w, at, nil
 	}
+	w, done, err := a.newSegmentWriterLocked(at)
+	if err != nil {
+		return nil, done, err
+	}
+	a.open[class] = w
+	return w, done, nil
+}
+
+// newSegmentWriterLocked allocates a fresh segment (refilling the frontier
+// through the boot region when needed) and returns its writer, with the
+// segment's existence and placement recorded as facts. Shared by the
+// class writers and the per-lane open segments. Caller holds mu.
+func (a *Array) newSegmentWriterLocked(at sim.Time) (*layout.Writer, sim.Time, error) {
 	done := at
 	aus, err := a.alloc.AllocateSegment(a.failedDrive)
 	if err == layout.ErrNeedFrontier && a.alloc.PromoteSpeculative() {
@@ -385,7 +425,6 @@ func (a *Array) ensureOpenLocked(at sim.Time, class segClass) (*layout.Writer, s
 	}
 	w.SetParallel(a.pool.Run)
 	w.SetCrash(a.crash)
-	a.open[class] = w
 	a.segMap[id] = w.Info()
 
 	// Record the segment's existence and placement as facts.
@@ -416,11 +455,18 @@ func (a *Array) sealLocked(at sim.Time, class segClass) (sim.Time, error) {
 	if w == nil {
 		return at, nil
 	}
+	a.open[class] = nil
+	return a.sealWriterLocked(at, w)
+}
+
+// sealWriterLocked seals one writer's segment, refreshing the segment map
+// and recording the sealed-state fact. The caller owns removing the writer
+// from its slot (class array or lane). Caller holds mu.
+func (a *Array) sealWriterLocked(at sim.Time, w *layout.Writer) (sim.Time, error) {
 	info, done, err := w.Seal(at)
 	if err != nil {
 		return done, err
 	}
-	a.open[class] = nil
 	a.segMap[info.ID] = info
 	if err := a.pyr[relation.IDSegments].Insert([]tuple.Fact{relation.SegmentRow{
 		Segment:    uint64(info.ID),
@@ -494,6 +540,11 @@ func (a *Array) segInfoLocked(id layout.SegmentID) (layout.SegmentInfo, bool) {
 			return w.Info(), true
 		}
 	}
+	for _, ln := range a.lanes {
+		if info, ok := ln.openInfo(id); ok {
+			return info, true
+		}
+	}
 	info, ok := a.segMap[id]
 	return info, ok
 }
@@ -506,6 +557,11 @@ func (a *Array) readSegmentLocked(at sim.Time, id layout.SegmentID, off int64, n
 			if b, ok := w.ReadPending(off, n); ok {
 				return b, at, nil
 			}
+		}
+	}
+	for _, ln := range a.lanes {
+		if b, ok := ln.readPending(id, off, n); ok {
+			return b, at, nil
 		}
 	}
 	info, ok := a.segInfoLocked(id)

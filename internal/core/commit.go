@@ -116,6 +116,14 @@ func (a *Array) nvramAppendLocked(at sim.Time, rec []byte) (sim.Time, error) {
 	if err == nil {
 		return done, nil
 	}
+	// With lane commits in flight (we are under world.RLock via a lane's
+	// segment-metadata commit), checkpointing here would trim the whole
+	// NVRAM log while another lane's record may be durable but not yet
+	// applied — losing an acked write across a crash. Bubble the error;
+	// the lane path redoes the write under the exclusive world lock.
+	if a.laneInflight.Load() > 0 {
+		return done, err
+	}
 	// Full: flush everything and trim, then retry.
 	if done, err = a.checkpointLocked(done); err != nil {
 		return done, err
@@ -210,6 +218,15 @@ func (a *Array) maybeBackgroundLocked(at sim.Time) (sim.Time, error) {
 		return at, nil
 	}
 	a.opsSinceBG = 0
+	return a.backgroundStepLocked(at)
+}
+
+// backgroundStepLocked is one background maintenance step: pyramid flushes
+// and merges, plus the periodic full checkpoint. Split from the cadence
+// counter so the lane path (which counts ops under brief mu sections and
+// escalates to the exclusive world lock) can run the step without
+// double-counting. Caller holds mu.
+func (a *Array) backgroundStepLocked(at sim.Time) (sim.Time, error) {
 	done := at
 	for _, id := range a.relationIDs() {
 		p := a.pyr[id]
@@ -239,6 +256,14 @@ func (a *Array) maybeBackgroundLocked(at sim.Time) (sim.Time, error) {
 // the whole NVRAM log is released (Figure 4's "trims the DRAM and NVRAM").
 // Caller holds mu.
 func (a *Array) checkpointLocked(at sim.Time) (sim.Time, error) {
+	// In lane mode the per-write apply does not move the flush watermark;
+	// it advances only here and at the other world-exclusive points, where
+	// no lane commit is in flight: every sequence number issued so far
+	// whose facts reached a pyramid is durable in NVRAM (append precedes
+	// apply), and abandoned numbers from failed writes are harmless holes.
+	if a.laneMode() {
+		a.persistedSeq = a.seqs.Current()
+	}
 	a.crash.Hit("ckpt.begin")
 	// 1. Data durability: flush open segios of data-bearing classes.
 	done, err := a.flushOpenSegiosLocked(at)
@@ -306,6 +331,19 @@ func (a *Array) flushOpenSegiosLocked(at sim.Time) (sim.Time, error) {
 			a.segMap[w.Info().ID] = w.Info()
 		}
 	}
+	for _, ln := range a.lanes {
+		ln.mu.Lock()
+		if w := ln.open; w != nil {
+			d, err := w.Flush(done)
+			if err != nil {
+				ln.mu.Unlock()
+				return d, err
+			}
+			done = d
+			a.segMap[w.Info().ID] = w.Info()
+		}
+		ln.mu.Unlock()
+	}
 	return done, nil
 }
 
@@ -358,6 +396,13 @@ func (a *Array) writeCheckpoint(at sim.Time, genesis bool) (sim.Time, error) {
 		if w != nil {
 			a.segMap[w.Info().ID] = w.Info()
 		}
+	}
+	for _, ln := range a.lanes {
+		ln.mu.Lock()
+		if w := ln.open; w != nil {
+			a.segMap[w.Info().ID] = w.Info()
+		}
+		ln.mu.Unlock()
 	}
 	segIDs := make([]layout.SegmentID, 0, len(a.segMap))
 	for id := range a.segMap {

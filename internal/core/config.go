@@ -44,6 +44,15 @@ type Config struct {
 	// FrontierBatch is how many AUs each frontier refill adds (§4.3).
 	FrontierBatch int
 
+	// CommitLanes shards the commit path: writes route to one of N lanes
+	// by volume, each lane with its own mutex and open data segment, all
+	// lanes sharing the single atomic SeqSource and a batching NVRAM
+	// committer (§3.2's logical monotonicity is what makes this safe —
+	// facts are commutative, so lanes only synchronize on sequence
+	// allocation and the durability commit point). ≤ 1 keeps the classic
+	// single-serial-section path.
+	CommitLanes int
+
 	// GCLiveThreshold: sealed segments below this live fraction are GC
 	// candidates.
 	GCLiveThreshold float64
@@ -147,6 +156,9 @@ func (c Config) normalize() Config {
 	}
 	if c.CPUCores <= 0 {
 		c.CPUCores = 16
+	}
+	if c.CommitLanes <= 0 {
+		c.CommitLanes = 1
 	}
 	return c
 }

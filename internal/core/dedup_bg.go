@@ -26,6 +26,10 @@ type BackgroundDedupReport struct {
 // later copies to the first — after which the duplicates are dead and the
 // next GC cycle reclaims their space.
 func (a *Array) BackgroundDedup(at sim.Time) (BackgroundDedupReport, sim.Time, error) {
+	// The pass commits redirect facts against a liveness computation;
+	// quiesce lane commits so neither moves underneath it.
+	a.world.Lock()
+	defer a.world.Unlock()
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	var rep BackgroundDedupReport

@@ -52,6 +52,10 @@ var (
 )
 
 func (a *Array) RunGC(at sim.Time) (GCReport, sim.Time, error) {
+	// GC recomputes cross-volume invariants (exact liveness, candidacy):
+	// quiesce the commit lanes for the whole cycle.
+	a.world.Lock()
+	defer a.world.Unlock()
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	var rep GCReport
@@ -107,6 +111,13 @@ func (a *Array) RunGC(at sim.Time) (GCReport, sim.Time, error) {
 		if w != nil {
 			openIDs[w.Info().ID] = true
 		}
+	}
+	for _, ln := range a.lanes {
+		ln.mu.Lock()
+		if ln.open != nil {
+			openIDs[ln.open.Info().ID] = true
+		}
+		ln.mu.Unlock()
 	}
 	var candidates []layout.SegmentID
 	for id, info := range a.segMap {
@@ -529,6 +540,11 @@ func (r *ScrubReport) Add(other ScrubReport) {
 // a real drive failure stacks on top of them (§5.1). Unlike evacuation it
 // moves no live data and works for metadata segments too.
 func (a *Array) Scrub(at sim.Time) (ScrubReport, sim.Time, error) {
+	// Scrub rewrites damaged write units in place; hold the world lock so
+	// lane commits never race a repair (conservative — repairs touch only
+	// sealed segments, but sealed-ness itself can change under a rotation).
+	a.world.Lock()
+	defer a.world.Unlock()
 	a.mu.Lock()
 	ids := a.sealedIDsLocked()
 	a.mu.Unlock()
@@ -556,6 +572,8 @@ func (a *Array) Scrub(at sim.Time) (ScrubReport, sim.Time, error) {
 // instead of stalling on a whole-array pass. Wrapping past the last
 // segment counts a completed pass.
 func (a *Array) ScrubStep(at sim.Time, maxSegments int) (ScrubReport, sim.Time, error) {
+	a.world.Lock()
+	defer a.world.Unlock()
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	var rep ScrubReport
@@ -596,6 +614,8 @@ func (a *Array) ScrubStep(at sim.Time, maxSegments int) (ScrubReport, sim.Time, 
 // after a whole-drive loss applies). Returns how many write units were
 // damaged.
 func (a *Array) InjectBitFlips(seed uint64, n int) int {
+	a.world.Lock()
+	defer a.world.Unlock()
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	r := sim.NewRand(seed)

@@ -34,6 +34,8 @@ type RebuildReport struct {
 // sealing pins the survivors' trailers and lets the missing shards be
 // rebuilt like any sealed segment's.
 func (a *Array) ReplaceDrive(at sim.Time, drive int) (sim.Time, error) {
+	a.world.Lock()
+	defer a.world.Unlock()
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	done := at
@@ -46,6 +48,13 @@ func (a *Array) ReplaceDrive(at sim.Time, drive int) (sim.Time, error) {
 		if err != nil {
 			return done, err
 		}
+	}
+	// Lane open segments lose shards to the pulled drive just like the
+	// class writers' — seal them too so rebuild sees pinned trailers.
+	if d, err := a.sealLanesLocked(done); err != nil {
+		return d, err
+	} else {
+		done = d
 	}
 	if _, err := a.shelf.Replace(drive); err != nil {
 		return done, err
@@ -86,6 +95,12 @@ func (a *Array) ReplaceDrive(at sim.Time, drive int) (sim.Time, error) {
 func (a *Array) Rebuild(at sim.Time, drive int) (RebuildReport, sim.Time, error) {
 	rep := RebuildReport{Drive: drive}
 	done := at
+
+	// Rebuild swaps segment placements (SegmentAUs facts); quiesce lane
+	// commits for the pass. Foreground ops that take only mu (reads, and
+	// single-lane writes) still interleave between segments.
+	a.world.Lock()
+	defer a.world.Unlock()
 
 	a.mu.Lock()
 	ids := make([]layout.SegmentID, 0)

@@ -580,6 +580,8 @@ func (a *Array) replayRecord(at sim.Time, payload []byte) (sim.Time, error) {
 // FlushAll makes all pending state durable and seals the open segments —
 // a graceful shutdown / quiesce. Subsequent writes open fresh segments.
 func (a *Array) FlushAll(at sim.Time) (sim.Time, error) {
+	a.world.Lock()
+	defer a.world.Unlock()
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	done := at
@@ -590,5 +592,10 @@ func (a *Array) FlushAll(at sim.Time) (sim.Time, error) {
 		}
 		done = d
 	}
+	d, err := a.sealLanesLocked(done)
+	if err != nil {
+		return d, err
+	}
+	done = d
 	return a.checkpointLocked(done)
 }

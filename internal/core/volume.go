@@ -26,6 +26,8 @@ type VolumeInfo struct {
 // sector multiple). The volume's medium covers its whole range with no
 // underlay: unwritten reads return zeros.
 func (a *Array) CreateVolume(at sim.Time, name string, sizeBytes int64) (VolumeID, sim.Time, error) {
+	a.world.Lock()
+	defer a.world.Unlock()
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	sectors := (uint64(sizeBytes) + cblock.SectorSize - 1) / cblock.SectorSize
@@ -112,6 +114,8 @@ func (a *Array) Volumes(at sim.Time) ([]VolumeInfo, sim.Time, error) {
 // RW medium layered on top (§3.4, Figure 6). The snapshot is itself a
 // catalog entry pointing at the now-RO medium. O(1) in data moved.
 func (a *Array) Snapshot(at sim.Time, id VolumeID, name string) (VolumeID, sim.Time, error) {
+	a.world.Lock()
+	defer a.world.Unlock()
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	row, done, err := a.volumeLocked(at, id)
@@ -162,6 +166,8 @@ func (a *Array) Snapshot(at sim.Time, id VolumeID, name string) (VolumeID, sim.T
 // Clone creates a new writable volume backed by a snapshot's medium.
 // Hundreds of clones share one set of cblocks until they diverge (§5.3).
 func (a *Array) Clone(at sim.Time, snapID VolumeID, name string) (VolumeID, sim.Time, error) {
+	a.world.Lock()
+	defer a.world.Unlock()
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	row, done, err := a.volumeLocked(at, snapID)
@@ -198,6 +204,8 @@ func (a *Array) Clone(at sim.Time, snapID VolumeID, name string) (VolumeID, sim.
 // deletes every address mapping (§4.10). Shared interior mediums are left
 // to the garbage collector's unreferenced-medium pass.
 func (a *Array) Delete(at sim.Time, id VolumeID) (sim.Time, error) {
+	a.world.Lock()
+	defer a.world.Unlock()
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	row, done, err := a.volumeLocked(at, id)

@@ -89,6 +89,9 @@ func (a *Array) WriteAt(at sim.Time, vol VolumeID, off int64, data []byte) (sim.
 	if err != nil {
 		return at, err
 	}
+	if a.laneMode() {
+		return a.commitWriteLane(at, vol, off, data, prep)
+	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return a.commitWriteLocked(at, vol, off, data, prep)

@@ -15,10 +15,10 @@ import (
 //	full    — a complete WriteAt (prepare + the serial commit section).
 //
 // commit cost = full − prepare, and the prepare/full ratio is the
-// parallelizable fraction p of a write: Amdahl's law projects the
-// N-worker speedup as 1/((1−p)+p/N). This is the measurement to use on
-// machines with too few cores for BenchmarkParallelWrite (package purity)
-// to show real scaling.
+// parallelizable fraction p of a write. This locates where a single
+// write's CPU goes; for what concurrency actually buys, run E13 (the
+// sharded-commit scaling experiment, measured not projected) on a
+// multi-core host.
 
 // compressiblePayload builds n bytes that look like database pages:
 // random row headers with zeroed tails, ≈2-3× compressible, so the Pack

@@ -60,13 +60,35 @@ type Candidate struct {
 // persistent dedup relation holds the sampled long-term entries, and this
 // bounded index holds the short-term ones. Safe for concurrent use.
 //
-// The table is open-addressed with linear probing rather than a Go map:
-// it is probed once per 512 B block of every write, and the keys are
-// already 64-bit FNV hashes, so a single multiply spreads them. Eviction
-// (FIFO via the ring) deletes ring[pos] immediately before overwriting the
-// slot, so every live key has exactly one live ring slot and occupancy
-// never exceeds cap; the table is sized 2·cap for a ≤ 0.5 load factor.
+// The index is lock-striped: independent sub-tables, each with its own
+// mutex, routed by the low bits of the block hash. Every 512 B block of
+// every write probes the index, and with the sharded commit lanes several
+// writes probe it at once — one global mutex here would put a serial
+// section back under the hottest loop of the write path. Striping changes
+// eviction from one global FIFO to a per-stripe FIFO of 1/Nth the
+// capacity; FNV hashes spread uniformly, so the aggregate recency window
+// is the same within noise.
 type RecentIndex struct {
+	stripes []*recentStripe
+	mask    uint64
+}
+
+// maxRecentStripes caps the lock-stripe fan-out; 16 is comfortably above
+// any plausible commit-lane count. minStripeCap keeps each stripe's FIFO
+// window meaningful — small indexes (tests, tiny configs) degenerate to a
+// single stripe with exact global-FIFO semantics.
+const (
+	maxRecentStripes = 16
+	minStripeCap     = 16
+)
+
+// recentStripe is one independently locked sub-table, open-addressed with
+// linear probing rather than a Go map: the keys are already 64-bit FNV
+// hashes, so a single multiply spreads them. Eviction (FIFO via the ring)
+// deletes ring[pos] immediately before overwriting the slot, so every live
+// key has exactly one live ring slot and occupancy never exceeds cap; the
+// table is sized 2·cap for a ≤ 0.5 load factor.
+type recentStripe struct {
 	mu    sync.Mutex
 	cap   int
 	n     int
@@ -79,17 +101,32 @@ type RecentIndex struct {
 	pos   int
 }
 
-// NewRecentIndex returns an index bounded to capacity entries.
+// NewRecentIndex returns an index bounded to capacity entries (spread
+// evenly across the stripes). The stripe count is the largest power of two
+// ≤ maxRecentStripes that keeps per-stripe capacity ≥ minStripeCap.
 func NewRecentIndex(capacity int) *RecentIndex {
 	if capacity <= 0 {
 		capacity = 1 << 16
 	}
+	n := 1
+	for n < maxRecentStripes && capacity/(n*2) >= minStripeCap {
+		n *= 2
+	}
+	per := capacity / n
+	idx := &RecentIndex{stripes: make([]*recentStripe, n), mask: uint64(n - 1)}
+	for i := range idx.stripes {
+		idx.stripes[i] = newRecentStripe(per)
+	}
+	return idx
+}
+
+func newRecentStripe(capacity int) *recentStripe {
 	bits := uint(1)
 	for (1 << bits) < 2*capacity {
 		bits++
 	}
 	size := 1 << bits
-	return &RecentIndex{
+	return &recentStripe{
 		cap:   capacity,
 		mask:  uint64(size - 1),
 		shift: 64 - bits,
@@ -100,15 +137,22 @@ func NewRecentIndex(capacity int) *RecentIndex {
 	}
 }
 
+// stripe routes a hash to its stripe by the low bits; slot selection inside
+// a stripe uses the Fibonacci-multiplied high bits, so the two choices stay
+// independent.
+func (x *RecentIndex) stripe(h uint64) *recentStripe {
+	return x.stripes[h&x.mask]
+}
+
 // slot returns the home slot for a hash (Fibonacci hashing: the keys are
 // already uniform FNV hashes, one multiply guards against masked-bit bias).
-func (r *RecentIndex) slot(h uint64) uint64 {
+func (r *recentStripe) slot(h uint64) uint64 {
 	return (h * 0x9E3779B97F4A7C15) >> r.shift
 }
 
 // find returns the slot holding hash, or the empty slot that ends its
 // probe sequence.
-func (r *RecentIndex) find(hash uint64) (uint64, bool) {
+func (r *recentStripe) find(hash uint64) (uint64, bool) {
 	i := r.slot(hash)
 	for r.used[i] {
 		if r.keys[i] == hash {
@@ -121,7 +165,7 @@ func (r *RecentIndex) find(hash uint64) (uint64, bool) {
 
 // del removes hash if present, back-shifting later entries of the probe
 // chain so no tombstones accumulate.
-func (r *RecentIndex) del(hash uint64) {
+func (r *recentStripe) del(hash uint64) {
 	i, ok := r.find(hash)
 	if !ok {
 		return
@@ -148,8 +192,10 @@ func (r *RecentIndex) del(hash uint64) {
 	r.n--
 }
 
-// Add records a block's location, evicting the oldest entry when full.
-func (r *RecentIndex) Add(hash uint64, c Candidate) {
+// Add records a block's location, evicting the stripe's oldest entry when
+// the stripe is full.
+func (x *RecentIndex) Add(hash uint64, c Candidate) {
+	r := x.stripe(hash)
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if i, ok := r.find(hash); ok {
@@ -170,7 +216,8 @@ func (r *RecentIndex) Add(hash uint64, c Candidate) {
 }
 
 // Lookup returns the candidate for a hash, if present.
-func (r *RecentIndex) Lookup(hash uint64) (Candidate, bool) {
+func (x *RecentIndex) Lookup(hash uint64) (Candidate, bool) {
+	r := x.stripe(hash)
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	i, ok := r.find(hash)
@@ -180,11 +227,15 @@ func (r *RecentIndex) Lookup(hash uint64) (Candidate, bool) {
 	return r.vals[i], true
 }
 
-// Len returns the number of entries.
-func (r *RecentIndex) Len() int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.n
+// Len returns the number of entries across all stripes.
+func (x *RecentIndex) Len() int {
+	total := 0
+	for _, r := range x.stripes {
+		r.mu.Lock()
+		total += r.n
+		r.mu.Unlock()
+	}
+	return total
 }
 
 // Run is a verified duplicate run within a new write: blocks [Start,

@@ -2,6 +2,7 @@ package dedup
 
 import (
 	"bytes"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -214,13 +215,13 @@ func BenchmarkHash512(b *testing.B) {
 	}
 }
 
-// TestRecentIndexAgainstModel churns the open-addressed index with random
+// TestRecentStripeAgainstModel churns one open-addressed stripe with random
 // adds and lookups and compares every observation against the simple
-// map-plus-ring model the index replaces. Small key spaces force constant
+// map-plus-ring model the table replaces. Small key spaces force constant
 // probe-chain collisions and back-shift deletes.
-func TestRecentIndexAgainstModel(t *testing.T) {
+func TestRecentStripeAgainstModel(t *testing.T) {
 	for _, keySpace := range []uint64{7, 40, 1000} {
-		idx := NewRecentIndex(16)
+		st := newRecentStripe(16)
 		model := make(map[uint64]Candidate, 16)
 		ring := make([]uint64, 16)
 		pos := 0
@@ -228,16 +229,20 @@ func TestRecentIndexAgainstModel(t *testing.T) {
 		for step := 0; step < 20000; step++ {
 			h := uint64(rng.Intn(int(keySpace)))
 			if rng.Intn(3) == 0 {
-				got, ok := idx.Lookup(h)
+				var got Candidate
+				i, ok := st.find(h)
+				if ok {
+					got = st.vals[i]
+				}
 				want, wok := model[h]
 				if ok != wok || got != want {
-					t.Fatalf("keySpace %d step %d: Lookup(%d) = %v,%v want %v,%v",
+					t.Fatalf("keySpace %d step %d: find(%d) = %v,%v want %v,%v",
 						keySpace, step, h, got, ok, want, wok)
 				}
 				continue
 			}
 			c := Candidate{Segment: uint64(step), SectorIdx: h}
-			idx.Add(h, c)
+			stripeAdd(st, h, c)
 			if _, exists := model[h]; !exists {
 				if len(model) >= 16 {
 					delete(model, ring[pos])
@@ -246,9 +251,122 @@ func TestRecentIndexAgainstModel(t *testing.T) {
 				pos = (pos + 1) % 16
 			}
 			model[h] = c
-			if idx.Len() != len(model) {
-				t.Fatalf("keySpace %d step %d: Len = %d want %d", keySpace, step, idx.Len(), len(model))
+			if st.n != len(model) {
+				t.Fatalf("keySpace %d step %d: n = %d want %d", keySpace, step, st.n, len(model))
 			}
 		}
+	}
+}
+
+// stripeAdd is RecentIndex.Add's body applied to one stripe directly, so
+// the model test exercises the probe-chain machinery without the routing.
+func stripeAdd(r *recentStripe, hash uint64, c Candidate) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if i, ok := r.find(hash); ok {
+		r.vals[i] = c
+		return
+	}
+	if r.n >= r.cap {
+		r.del(r.ring[r.pos])
+	}
+	r.ring[r.pos] = hash
+	r.pos++
+	if r.pos == r.cap {
+		r.pos = 0
+	}
+	i, _ := r.find(hash)
+	r.keys[i], r.vals[i], r.used[i] = hash, c, true
+	r.n++
+}
+
+// TestRecentIndexAgainstStripedModel models the full striped index: each
+// stripe is an independent FIFO of 1/Nth the capacity, routed by the low
+// hash bits.
+func TestRecentIndexAgainstStripedModel(t *testing.T) {
+	const capacity = 64
+	for _, keySpace := range []uint64{90, 4000} {
+		idx := NewRecentIndex(capacity)
+		nStripes := len(idx.stripes)
+		if nStripes < 2 {
+			t.Fatalf("capacity %d built %d stripes; want striping", capacity, nStripes)
+		}
+		perStripe := capacity / nStripes
+		type stripeModel struct {
+			entries map[uint64]Candidate
+			ring    []uint64
+			pos     int
+		}
+		models := make([]*stripeModel, nStripes)
+		for i := range models {
+			models[i] = &stripeModel{entries: map[uint64]Candidate{}, ring: make([]uint64, perStripe)}
+		}
+		rng := sim.NewRand(keySpace * 104729)
+		for step := 0; step < 20000; step++ {
+			h := uint64(rng.Intn(int(keySpace)))
+			m := models[h&idx.mask]
+			if rng.Intn(3) == 0 {
+				got, ok := idx.Lookup(h)
+				want, wok := m.entries[h]
+				if ok != wok || got != want {
+					t.Fatalf("keySpace %d step %d: Lookup(%d) = %v,%v want %v,%v",
+						keySpace, step, h, got, ok, want, wok)
+				}
+				continue
+			}
+			c := Candidate{Segment: uint64(step), SectorIdx: h}
+			idx.Add(h, c)
+			if _, exists := m.entries[h]; !exists {
+				if len(m.entries) >= perStripe {
+					delete(m.entries, m.ring[m.pos])
+				}
+				m.ring[m.pos] = h
+				m.pos = (m.pos + 1) % perStripe
+			}
+			m.entries[h] = c
+			total := 0
+			for _, sm := range models {
+				total += len(sm.entries)
+			}
+			if idx.Len() != total {
+				t.Fatalf("keySpace %d step %d: Len = %d want %d", keySpace, step, idx.Len(), total)
+			}
+		}
+	}
+}
+
+// TestRecentIndexConcurrent hammers the striped index from many goroutines
+// with overlapping key ranges — run under -race by scripts/check.sh. Every
+// hit must return a value some goroutine actually stored for that hash.
+func TestRecentIndexConcurrent(t *testing.T) {
+	idx := NewRecentIndex(1 << 10)
+	const (
+		workers = 8
+		keys    = 512
+		steps   = 4000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := sim.NewRand(uint64(w+1) * 31337)
+			for i := 0; i < steps; i++ {
+				h := uint64(rng.Intn(keys)) * 0x9E3779B9
+				if i%3 == 0 {
+					if c, ok := idx.Lookup(h); ok && c.SectorIdx != h {
+						t.Errorf("worker %d: Lookup(%d) returned candidate for wrong hash %d", w, h, c.SectorIdx)
+						return
+					}
+					continue
+				}
+				idx.Add(h, Candidate{Segment: uint64(w), SectorIdx: h})
+			}
+		}()
+	}
+	wg.Wait()
+	if n := idx.Len(); n == 0 {
+		t.Fatal("index empty after concurrent churn")
 	}
 }

@@ -132,3 +132,71 @@ func (g *guarded) Suppressed(fail bool) error {
 	g.mu.Unlock()
 	return nil
 }
+
+// --- Sharded-commit lane patterns: an engine mutex ordered before a
+// per-lane mutex, a shared world lock held across a commit, and the
+// group-commit rule that devices are written with no lock held.
+
+// lane mimics one commit lane: its own mutex guarding an open-writer
+// slot, always acquired after the engine lock, never before it.
+type lane struct {
+	mu   sync.Mutex
+	open int
+}
+
+type engine struct {
+	mu    sync.Mutex
+	world sync.RWMutex
+}
+
+// LaneChainClean nests engine → lane and releases in reverse order.
+func (e *engine) LaneChainClean(ln *lane) {
+	e.mu.Lock()
+	ln.mu.Lock()
+	ln.open++
+	ln.mu.Unlock()
+	e.mu.Unlock()
+}
+
+// LaneLeak releases the engine lock by defer but forgets the inner lane
+// mutex on the error path — the two-mutex variant of EarlyReturn.
+func (e *engine) LaneLeak(ln *lane, fail bool) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ln.mu.Lock()
+	if fail {
+		return errBoom // want "still held"
+	}
+	ln.mu.Unlock()
+	return nil
+}
+
+// WorldRLockLeak holds the shared world lock across an early return —
+// the commit-path shape where only the happy path reaches RUnlock.
+func (e *engine) WorldRLockLeak(fail bool) error {
+	e.world.RLock()
+	if fail {
+		return errBoom // want "still held"
+	}
+	e.world.RUnlock()
+	return nil
+}
+
+// LaneDurable issues flash I/O with the lane mutex held: group commit
+// exists precisely so the device write happens with no lock at all.
+func (ln *lane) LaneDurable(d *ssd.Device, buf []byte) {
+	ln.mu.Lock()
+	defer ln.mu.Unlock()
+	_, _ = d.WriteAt(0, buf, 0) // want "durable I/O"
+}
+
+// LaneBatchClean is the group-commit shape the rule must accept:
+// snapshot the batch under the lane mutex, release, then touch flash.
+func (ln *lane) LaneBatchClean(d *ssd.Device, buf []byte) {
+	ln.mu.Lock()
+	n := ln.open
+	ln.mu.Unlock()
+	if n > 0 {
+		_, _ = d.WriteAt(0, buf, 0)
+	}
+}

@@ -75,3 +75,49 @@ func Suppressed() tuple.Fact {
 	//lint:ignore seqmono fixture: bootstrap fact, seq zero is reserved by the format
 	return tuple.Fact{Seq: 0, Cols: []uint64{1}}
 }
+
+// --- Sharded-commit lane patterns: the single global allocator is the
+// only cross-lane ordering point, so lanes must neither carve up the
+// seqno space arithmetically nor stamp a drained batch with one draw.
+
+// LaneStride derives per-lane seqnos from one draw (lane i stamps
+// base+i) — the sharding temptation that breaks the single-allocator
+// invariant recovery replay depends on.
+func LaneStride(seqs *tuple.SeqSource, lanes uint64) []tuple.Fact {
+	base := seqs.Next()
+	out := make([]tuple.Fact, 0, lanes)
+	for i := uint64(0); i < lanes; i++ {
+		out = append(out, row{i}.Fact(base+tuple.Seq(i))) // want "seqno arithmetic"
+	}
+	return out
+}
+
+// LaneBatchReuse is the group-commit bug: the batch leader draws one
+// seqno and stamps every drained record with it.
+func LaneBatchReuse(seqs *tuple.SeqSource, keys []uint64) []tuple.Fact {
+	out := make([]tuple.Fact, 0, len(keys))
+	s := seqs.Next()
+	for _, k := range keys {
+		out = append(out, row{k}.Fact(s)) // want "already stamped"
+	}
+	return out
+}
+
+// LaneHandoff is the clean batched-commit shape: each record carries the
+// seqno allocated at enqueue time, and the leader stamps each ticket
+// with its own — field reads keep the per-record provenance.
+func LaneHandoff(seqs *tuple.SeqSource, keys []uint64) []tuple.Fact {
+	type ticket struct {
+		k   uint64
+		seq tuple.Seq
+	}
+	queue := make([]ticket, 0, len(keys))
+	for _, k := range keys {
+		queue = append(queue, ticket{k: k, seq: seqs.Next()})
+	}
+	out := make([]tuple.Fact, 0, len(queue))
+	for _, t := range queue {
+		out = append(out, row{t.k}.Fact(t.seq))
+	}
+	return out
+}

@@ -9,7 +9,9 @@
 // straight into the engine with no server-side serialization: the engine's
 // write path runs compression and dedup hashing before taking its lock
 // (core.Array.WriteAtConcurrent), so N connections use N cores for the
-// CPU-heavy stages and only the commit section is serial.
+// CPU-heavy stages; with Config.CommitLanes > 1 the commit section itself
+// shards into per-volume lanes (DESIGN.md, "Sharded commit"), leaving the
+// NVRAM group commit and brief engine-mutex sections as the serial core.
 package server
 
 import (

@@ -43,4 +43,10 @@ echo "== go test -race (concurrency-bearing packages)"
 go test -race -short ./internal/pipeline/ ./internal/server/ ./internal/dedup/ ./internal/layout/ ./internal/shelf/
 go test -race -short -run 'TestConcurrentWriters|TestConcurrentScrubRebuildForeground' ./internal/core/
 
+echo "== sharded commit lanes (-race multi-lane writers + crash window)"
+go test -race -short -run 'TestLane' ./internal/core/
+
+echo "== E13 smoke (2-lane scaling run; output not committed — see .gitignore)"
+go run ./cmd/purity-bench -experiment E13 -quick > /dev/null
+
 echo "ok: all checks passed"
