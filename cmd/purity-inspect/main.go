@@ -8,6 +8,11 @@
 // is injected and scrubbed away, one drive is pulled, replaced and rebuilt,
 // and the per-drive health, wear, read-path and scrub/rebuild counters are
 // dumped at the end.
+//
+// With -frontend it tours the tagged pipelined front end: the array is
+// served over loopback TCP, pipelined initiators and adversarial probes
+// (duplicate tags, oversized/torn/zero-length frames) drive it, and the
+// wire-health counters plus SLO governor state are dumped.
 package main
 
 import (
@@ -25,7 +30,13 @@ func main() {
 	drives := flag.Int("drives", 11, "SSDs in the shelf")
 	lanes := flag.Int("lanes", 4, "sharded commit lanes (1 = classic serial commit path)")
 	health := flag.Bool("health", false, "run a drive-failure lifecycle and dump drive health, wear and repair counters")
+	frontend := flag.Bool("frontend", false, "serve the array over loopback TCP, drive pipelined + adversarial initiators, dump wire-health counters")
 	flag.Parse()
+
+	if *frontend {
+		inspectFrontend(*drives)
+		return
+	}
 
 	cfg := core.DefaultConfig()
 	cfg.Shelf.Drives = *drives

@@ -5,7 +5,8 @@
 //
 // Usage:
 //
-//	purity-server [-primary :7005] [-secondary :7006] [-drives 11] [-drive-gib 1]
+//	purity-server [-primary :7005] [-secondary :7006] [-drives 11] [-drive-mib 256]
+//	              [-workers 4] [-queue-depth 64] [-tenant-window 32] [-inflight-mib 64]
 package main
 
 import (
@@ -27,6 +28,11 @@ func main() {
 	noDedup := flag.Bool("no-dedup", false, "disable inline deduplication")
 	noCompress := flag.Bool("no-compress", false, "disable inline compression")
 	lanes := flag.Int("lanes", 4, "sharded commit lanes (1 = classic serial commit path)")
+	workers := flag.Int("workers", 4, "per-connection dispatch workers (tagged protocol)")
+	queueDepth := flag.Int("queue-depth", 64, "per-connection dispatch queue bound")
+	tenantWindow := flag.Int("tenant-window", 32, "per-volume in-flight request window per connection")
+	inflightMiB := flag.Int64("inflight-mib", 64, "global in-flight payload byte budget, MiB")
+	pace := flag.Bool("pace", false, "pace responses to the device model's simulated service time")
 	flag.Parse()
 
 	cfg := core.DefaultConfig()
@@ -42,6 +48,15 @@ func main() {
 	}
 	fmt.Printf("purity-server: %d drives x %d MiB (raw %d MiB), dedup=%v compress=%v lanes=%d\n",
 		*drives, *driveMiB, int64(*drives)**driveMiB, !*noDedup, !*noCompress, *lanes)
+	srvCfg := server.Config{
+		Workers:          *workers,
+		QueueDepth:       *queueDepth,
+		TenantWindow:     *tenantWindow,
+		MaxInflightBytes: *inflightMiB << 20,
+		Pace:             *pace,
+	}
+	fmt.Printf("purity-server: front end workers=%d queue=%d tenant-window=%d inflight=%d MiB\n",
+		*workers, *queueDepth, *tenantWindow, *inflightMiB)
 
 	serve := func(addr string, via controller.Role, label string) net.Listener {
 		l, err := net.Listen("tcp", addr)
@@ -50,7 +65,7 @@ func main() {
 		}
 		fmt.Printf("purity-server: %s controller on %s\n", label, l.Addr())
 		go func() {
-			if err := server.New(pair, via).Serve(l); err != nil {
+			if err := server.NewWithConfig(pair, via, srvCfg).Serve(l); err != nil {
 				log.Printf("%s server: %v", label, err)
 			}
 		}()

@@ -55,6 +55,7 @@ func Experiments() []Experiment {
 		{"E9", "§2.3: one array vs disk-based key-value nodes", runE9},
 		{"E12", "§4.2/§5.1: drive-failure lifecycle — corruption, scrub, online rebuild", runE12},
 		{"E13", "§3.2: sharded commit lanes — measured multi-core write scaling", runE13},
+		{"E14", "§4.4: pipelined tagged front end — queue depth scaling and tail latency", runE14},
 		{"A1", "Ablations: sampling, compression, stagger, RS geometry", runA1},
 		{"CS", "§4.3: crash-consistency sweep over every fault point", runCS},
 	}

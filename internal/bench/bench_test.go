@@ -9,8 +9,8 @@ import (
 // TestExperimentRegistry ensures the index is complete and addressable.
 func TestExperimentRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 18 {
-		t.Fatalf("experiment count = %d, want 18", len(exps))
+	if len(exps) != 19 {
+		t.Fatalf("experiment count = %d, want 19", len(exps))
 	}
 	seen := map[string]bool{}
 	for _, e := range exps {

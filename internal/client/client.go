@@ -1,8 +1,20 @@
 // Package client is the Go client for the wire protocol — what an
 // application host's initiator would be in a real deployment.
+//
+// Two modes share one API:
+//
+//   - Dial gives the legacy v1 initiator: requests serialize on the
+//     connection, one in flight at a time (call-and-response).
+//   - DialPipelined negotiates the tagged v2 protocol: every method call
+//     still blocks its caller, but any number of goroutines may have calls
+//     in flight on the SAME connection at once — each gets a tag, the
+//     server completes them out of order, and a background reader routes
+//     responses back by tag. Queue depth is simply how many goroutines you
+//     point at one client.
 package client
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -11,13 +23,29 @@ import (
 )
 
 // Client is a connection to one controller port. Methods are safe for
-// concurrent use (requests serialize on the connection).
+// concurrent use (legacy mode serializes requests; pipelined mode
+// interleaves them).
 type Client struct {
-	mu   sync.Mutex
 	conn net.Conn
+
+	// Legacy (v1) mode: mu serializes whole request/response exchanges.
+	mu sync.Mutex
+
+	// Pipelined (v2) mode.
+	pipelined bool
+	wmu       sync.Mutex // serializes request frame writes
+	pmu       sync.Mutex // guards pending, nextTag, readErr
+	pending   map[uint32]chan taggedResp
+	nextTag   uint32
+	readErr   error // set once the reader goroutine dies; fails all calls
 }
 
-// Dial connects to a server.
+type taggedResp struct {
+	op      byte
+	payload []byte
+}
+
+// Dial connects with the legacy lock-step protocol.
 func Dial(addr string) (*Client, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
@@ -26,11 +54,138 @@ func Dial(addr string) (*Client, error) {
 	return &Client{conn: conn}, nil
 }
 
-// Close closes the connection.
+// DialPipelined connects and negotiates the tagged v2 protocol. If the
+// server only speaks v1 the client transparently stays in legacy mode.
+func DialPipelined(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	fail := func(err error) (*Client, error) {
+		//lint:ignore errdrop best-effort teardown of a connection being abandoned; the negotiation error is the one the caller needs
+		conn.Close()
+		return nil, err
+	}
+	var e wire.Enc
+	if err := wire.WriteFrame(conn, wire.OpHello, e.U64(wire.ProtoTagged).B); err != nil {
+		return fail(err)
+	}
+	respOp, resp, err := wire.ReadFrame(conn)
+	if err != nil {
+		return fail(err)
+	}
+	if respOp != wire.OpHello {
+		return fail(fmt.Errorf("client: hello answered with opcode %d", respOp))
+	}
+	body, err := wire.ParseResponse(resp)
+	if err != nil {
+		return fail(err)
+	}
+	d := wire.Dec{B: body}
+	accepted := d.U64()
+	if !d.OK() {
+		return fail(d.Err)
+	}
+	c := &Client{conn: conn}
+	if accepted >= wire.ProtoTagged {
+		c.pipelined = true
+		c.pending = make(map[uint32]chan taggedResp)
+		go c.readLoop()
+	}
+	return c, nil
+}
+
+// Pipelined reports whether the connection negotiated the tagged protocol.
+func (c *Client) Pipelined() bool { return c.pipelined }
+
+// Close closes the connection. In pipelined mode any in-flight calls fail.
 func (c *Client) Close() error { return c.conn.Close() }
 
-// call performs one request/response exchange.
+// readLoop routes tagged responses to their waiting callers. A response
+// carrying a tag with no waiter is a protocol violation: the stream can no
+// longer be trusted, so the connection fails as a whole.
+func (c *Client) readLoop() {
+	for {
+		op, tag, payload, err := wire.ReadTaggedFrame(c.conn)
+		if err != nil {
+			c.failAll(err)
+			return
+		}
+		c.pmu.Lock()
+		ch, ok := c.pending[tag]
+		if ok {
+			delete(c.pending, tag)
+		}
+		c.pmu.Unlock()
+		if !ok {
+			c.failAll(fmt.Errorf("client: response for unknown tag %d (op %d)", tag, op))
+			//lint:ignore errdrop the stream is untrusted after an unknown tag; failAll already carries the error to every caller
+			c.conn.Close()
+			return
+		}
+		ch <- taggedResp{op: op, payload: payload}
+	}
+}
+
+// failAll fails every pending call and all future ones.
+func (c *Client) failAll(err error) {
+	if errors.Is(err, net.ErrClosed) {
+		err = errors.New("client: connection closed")
+	}
+	c.pmu.Lock()
+	c.readErr = err
+	for tag, ch := range c.pending {
+		delete(c.pending, tag)
+		close(ch)
+	}
+	c.pmu.Unlock()
+}
+
+// call performs one request/response exchange (blocking in both modes; in
+// pipelined mode other goroutines' calls proceed concurrently).
 func (c *Client) call(op byte, payload []byte) ([]byte, error) {
+	if !c.pipelined {
+		return c.callSync(op, payload)
+	}
+	c.pmu.Lock()
+	if c.readErr != nil {
+		err := c.readErr
+		c.pmu.Unlock()
+		return nil, err
+	}
+	c.nextTag++
+	tag := c.nextTag
+	ch := make(chan taggedResp, 1)
+	c.pending[tag] = ch
+	c.pmu.Unlock()
+
+	c.wmu.Lock()
+	err := wire.WriteTaggedFrame(c.conn, op, tag, payload)
+	c.wmu.Unlock()
+	if err != nil {
+		c.pmu.Lock()
+		delete(c.pending, tag)
+		c.pmu.Unlock()
+		return nil, err
+	}
+	r, ok := <-ch
+	if !ok {
+		c.pmu.Lock()
+		err := c.readErr
+		c.pmu.Unlock()
+		if err == nil {
+			err = errors.New("client: connection closed")
+		}
+		return nil, err
+	}
+	if r.op != op {
+		return nil, fmt.Errorf("client: response opcode %d for request %d (tag %d)", r.op, op, tag)
+	}
+	return wire.ParseTaggedResponse(r.payload)
+}
+
+// callSync is the legacy lock-step exchange.
+func (c *Client) callSync(op byte, payload []byte) ([]byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if err := wire.WriteFrame(c.conn, op, payload); err != nil {

@@ -114,7 +114,12 @@ type Array struct {
 	stats Stats
 
 	readTracker *iosched.Tracker
-	cpus        []sim.Time // per-core busyUntil (§4.4's pinned event cores)
+	// gov is the tail-latency SLO governor (§4.4): fed by every foreground
+	// read, consulted by background work (scrub pacing) and by the TCP
+	// front end's priority queues. Never nil; a negative Config.SLOBudget
+	// leaves it permanently unthreatened.
+	gov  *iosched.Governor
+	cpus []sim.Time // per-core busyUntil (§4.4's pinned event cores)
 }
 
 // Stats aggregates engine counters. Histograms record simulated latencies.
@@ -142,10 +147,13 @@ type Stats struct {
 	ScrubPasses      int64
 	ScrubSegments    int64
 	ScrubWUsRepaired int64
-	DriveReplaces    int64
-	Rebuilds         int64
-	RebuildSegments  int64
-	RebuildBytes     int64
+	// ScrubDeferrals counts paced scrub steps skipped because the SLO
+	// governor reported the foreground read tail over budget.
+	ScrubDeferrals  int64
+	DriveReplaces   int64
+	Rebuilds        int64
+	RebuildSegments int64
+	RebuildBytes    int64
 	// SegReadErrors / UnpackErrors / ExtentReadErrors count segment-read,
 	// cblock-unpack, and extent-read failures (formerly ad-hoc debug
 	// prints). The first two are survived — reads reconstruct, dedup
@@ -238,6 +246,7 @@ func newSkeleton(cfg Config, sh *shelf.Shelf) (*Array, error) {
 		cblocks:     newCBlockCache(cfg.CBlockCacheEntries),
 		stats:       newStats(),
 		readTracker: iosched.NewTracker(1024),
+		gov:         iosched.NewGovernor(cfg.SLOBudget, 4096),
 		cpus:        make([]sim.Time, cfg.CPUCores),
 		crash:       cfg.Crash,
 	}
@@ -305,6 +314,10 @@ func (a *Array) relationIDs() []uint32 {
 // Shelf exposes the underlying shelf for fault injection in tests and
 // experiments.
 func (a *Array) Shelf() *shelf.Shelf { return a.shelf }
+
+// Governor exposes the engine's tail-latency SLO governor so front ends can
+// fold the same foreground-vs-background arbitration into their queues.
+func (a *Array) Governor() *iosched.Governor { return a.gov }
 
 // Config returns the array's configuration after normalization.
 func (a *Array) Config() Config { return a.cfg }

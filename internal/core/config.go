@@ -13,6 +13,7 @@ import (
 	"purity/internal/iosched"
 	"purity/internal/layout"
 	"purity/internal/shelf"
+	"purity/internal/sim"
 )
 
 // Config assembles an array. Zero fields take defaults from DefaultConfig.
@@ -29,6 +30,14 @@ type Config struct {
 
 	// Read scheduling (§4.4).
 	ReadPolicy iosched.Policy
+
+	// SLOBudget is the foreground-read tail-latency budget the governor
+	// enforces (§4.4: 99.9% of I/O under 1 ms). While the recent p99.9
+	// exceeds it, background work (paced scrub steps, the server's
+	// low-priority queues) yields to foreground reads and hedging kicks in
+	// at ReadPolicy.SLOHedgePercentile. Zero takes the 1 ms default; a
+	// negative value disables the governor.
+	SLOBudget sim.Time
 
 	// Background maintenance cadence, in operations. The engine runs its
 	// background step (pyramid flush, merges, NVRAM trim, checkpoints)
@@ -87,6 +96,7 @@ func DefaultConfig() Config {
 		DedupMinRunBlocks:  8,
 		RecentIndexSize:    1 << 16,
 		ReadPolicy:         iosched.DefaultPolicy(),
+		SLOBudget:          sim.Millisecond,
 		BackgroundEvery:    256,
 		MemtableFlushRows:  4096,
 		MaxPatches:         6,
@@ -159,6 +169,9 @@ func (c Config) normalize() Config {
 	}
 	if c.CommitLanes <= 0 {
 		c.CommitLanes = 1
+	}
+	if c.SLOBudget == 0 {
+		c.SLOBudget = sim.Millisecond
 	}
 	return c
 }

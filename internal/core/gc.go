@@ -521,6 +521,9 @@ type ScrubReport struct {
 	BadWriteUnits      int
 	WriteUnitsRepaired int
 	SegmentsRepaired   int
+	// Deferred marks a paced step that did no work because the SLO
+	// governor had foreground reads over their tail budget.
+	Deferred bool
 }
 
 // Add accumulates other into r, so paced ScrubStep results can be summed
@@ -572,6 +575,17 @@ func (a *Array) Scrub(at sim.Time) (ScrubReport, sim.Time, error) {
 // instead of stalling on a whole-array pass. Wrapping past the last
 // segment counts a completed pass.
 func (a *Array) ScrubStep(at sim.Time, maxSegments int) (ScrubReport, sim.Time, error) {
+	// SLO arbitration (§4.4): while the foreground read tail is over
+	// budget, background scrub yields — the step is a counted no-op and the
+	// caller's pacing loop simply retries later. Checked before the world
+	// lock so a deferred step costs nothing.
+	if a.gov.Threatened() {
+		a.gov.NoteDeferral()
+		a.mu.Lock()
+		a.stats.ScrubDeferrals++
+		a.mu.Unlock()
+		return ScrubReport{Deferred: true}, at, nil
+	}
 	a.world.Lock()
 	defer a.world.Unlock()
 	a.mu.Lock()

@@ -137,8 +137,11 @@ func (a *Array) ReadAt(at sim.Time, vol VolumeID, off int64, n int) ([]byte, sim
 	lat := ackAt - at
 	// Hedging (§4.4): a read beyond the recent p95 races a reconstruction.
 	// In simulation the race is modelled as re-serving the slowest extent
-	// through reconstruction-preferring reads and taking the minimum.
-	if a.cfg.ReadPolicy.ShouldHedge(a.readTracker, lat) {
+	// through reconstruction-preferring reads and taking the minimum. While
+	// the SLO governor reports the p99.9 budget threatened, hedging kicks
+	// in earlier (Policy.SLOHedgePercentile) so foreground reads outrank
+	// whatever is congesting the drives.
+	if a.cfg.ReadPolicy.ShouldHedgeUnder(a.readTracker, lat, a.gov.Threatened()) {
 		a.stats.HedgedReads++
 		// A hedged reconstruction reads K shards in parallel from (mostly)
 		// idle drives; bound its benefit by replaying the extent reads with
@@ -160,6 +163,7 @@ func (a *Array) ReadAt(at sim.Time, vol VolumeID, off int64, n int) ([]byte, sim
 		}
 	}
 	a.readTracker.Record(lat)
+	a.gov.RecordRead(lat)
 	a.stats.Reads++
 	a.stats.ReadLatency.Record(lat)
 	return out, ackAt, nil

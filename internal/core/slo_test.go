@@ -1,0 +1,83 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestScrubDefersUnderSLOPressure: once the read tail exceeds the budget,
+// background scrub steps yield to foreground reads (§4.4) — and resume when
+// the governor is disabled.
+func TestScrubDefersUnderSLOPressure(t *testing.T) {
+	cfg := TestConfig()
+	cfg.SLOBudget = 1 // 1 ns: every real read latency busts the budget
+	a, err := Format(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vol := mustCreate(t, a, "v", 4<<20)
+	mustWrite(t, a, vol, 0, pattern(7, 1<<20))
+	if _, err := a.FlushAll(0); err != nil {
+		t.Fatal(err)
+	}
+
+	// Cold governor (no read history yet): scrub must proceed.
+	rep, _, err := a.ScrubStep(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Deferred {
+		t.Fatal("scrub deferred with no read history")
+	}
+
+	// Build p99.9 context: past the minimum sample count, a 1 ns budget is
+	// permanently threatened.
+	for i := 0; i < 128; i++ {
+		mustRead(t, a, vol, 0, 4096)
+	}
+	if !a.Governor().Threatened() {
+		t.Fatalf("governor not threatened (p99.9=%v budget=%v)",
+			a.Governor().P999(), a.Governor().Budget())
+	}
+	rep, _, err = a.ScrubStep(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Deferred {
+		t.Fatal("scrub ran with the SLO threatened")
+	}
+	if st := a.Stats(); st.ScrubDeferrals != 1 {
+		t.Fatalf("ScrubDeferrals = %d", st.ScrubDeferrals)
+	}
+	if a.Governor().Deferrals() != 1 {
+		t.Fatalf("governor Deferrals = %d", a.Governor().Deferrals())
+	}
+}
+
+// TestScrubRunsWithSLODisabled: a negative budget disables the governor
+// entirely — scrub never defers no matter how slow reads are.
+func TestScrubRunsWithSLODisabled(t *testing.T) {
+	cfg := TestConfig()
+	cfg.SLOBudget = -1
+	a, err := Format(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vol := mustCreate(t, a, "v", 4<<20)
+	mustWrite(t, a, vol, 0, pattern(8, 1<<20))
+	if _, err := a.FlushAll(0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 128; i++ {
+		mustRead(t, a, vol, 0, 4096)
+	}
+	if a.Governor().Threatened() {
+		t.Fatal("disabled governor threatened")
+	}
+	rep, _, err := a.ScrubStep(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Deferred {
+		t.Fatal("scrub deferred with the governor disabled")
+	}
+}

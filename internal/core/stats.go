@@ -46,6 +46,7 @@ type StatsSnapshot struct {
 	ScrubPasses      int64
 	ScrubSegments    int64
 	ScrubWUsRepaired int64
+	ScrubDeferrals   int64
 	DriveReplaces    int64
 	Rebuilds         int64
 	RebuildSegments  int64
@@ -98,6 +99,7 @@ func (a *Array) Stats() StatsSnapshot {
 		ScrubPasses:         a.stats.ScrubPasses,
 		ScrubSegments:       a.stats.ScrubSegments,
 		ScrubWUsRepaired:    a.stats.ScrubWUsRepaired,
+		ScrubDeferrals:      a.stats.ScrubDeferrals,
 		DriveReplaces:       a.stats.DriveReplaces,
 		Rebuilds:            a.stats.Rebuilds,
 		RebuildSegments:     a.stats.RebuildSegments,

@@ -9,6 +9,7 @@ package iosched
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"purity/internal/sim"
 )
@@ -89,18 +90,105 @@ type Policy struct {
 	HedgePercentile float64
 	// MinHedgeSamples gates hedging until the tracker has context.
 	MinHedgeSamples int
+	// SLOHedgePercentile (>0 enables the SLO tweak): when the tail-latency
+	// governor reports the p99.9 budget threatened, foreground reads hedge
+	// at this lower percentile instead of HedgePercentile — trading extra
+	// reconstruction reads for pulling the tail back under the SLO.
+	SLOHedgePercentile float64
 }
 
-// DefaultPolicy mirrors the paper: busy avoidance on, hedge at p95.
+// DefaultPolicy mirrors the paper: busy avoidance on, hedge at p95, and
+// hedge earlier (p90) while the tail SLO is threatened.
 func DefaultPolicy() Policy {
-	return Policy{AvoidBusy: true, HedgePercentile: 95, MinHedgeSamples: 64}
+	return Policy{AvoidBusy: true, HedgePercentile: 95, MinHedgeSamples: 64, SLOHedgePercentile: 90}
 }
 
 // ShouldHedge reports whether a read that took `latency` warrants a
 // reconstruction race, given recent history.
 func (p Policy) ShouldHedge(t *Tracker, latency sim.Time) bool {
-	if p.HedgePercentile <= 0 || t.Count() < p.MinHedgeSamples {
+	return p.ShouldHedgeUnder(t, latency, false)
+}
+
+// ShouldHedgeUnder is ShouldHedge with the governor's view folded in: while
+// the tail SLO is threatened (and the policy opts in via
+// SLOHedgePercentile), hedging triggers at the lower percentile so
+// foreground reads outrank whatever is congesting the drives.
+func (p Policy) ShouldHedgeUnder(t *Tracker, latency sim.Time, sloThreatened bool) bool {
+	hp := p.HedgePercentile
+	if sloThreatened && p.SLOHedgePercentile > 0 && p.SLOHedgePercentile < hp {
+		hp = p.SLOHedgePercentile
+	}
+	if hp <= 0 || t.Count() < p.MinHedgeSamples {
 		return false
 	}
-	return latency > t.Percentile(p.HedgePercentile)
+	return latency > t.Percentile(hp)
+}
+
+// Governor tracks foreground read latencies against the paper's tail SLO
+// (§4.4: 99.9% of I/O under 1 ms) and arbitrates foreground vs. background
+// work: while the recent p99.9 exceeds the budget, background operations
+// (scrub steps, low-priority front-end queues) yield to foreground reads.
+// Safe for concurrent use.
+type Governor struct {
+	budget     sim.Time
+	minSamples int
+	tracker    *Tracker
+	deferrals  atomic.Int64
+}
+
+// NewGovernor returns a governor over a sliding window of `window` reads
+// with the given p99.9 latency budget. A non-positive budget disables it
+// (Threatened is always false).
+func NewGovernor(budget sim.Time, window int) *Governor {
+	return &Governor{budget: budget, minSamples: 64, tracker: NewTracker(window)}
+}
+
+// Budget returns the configured p99.9 latency budget.
+func (g *Governor) Budget() sim.Time {
+	if g == nil {
+		return 0
+	}
+	return g.budget
+}
+
+// RecordRead adds one foreground read latency observation.
+func (g *Governor) RecordRead(lat sim.Time) {
+	if g == nil || g.budget <= 0 {
+		return
+	}
+	g.tracker.Record(lat)
+}
+
+// Threatened reports whether the recent p99.9 read latency exceeds the
+// budget. It stays false until the window has minimum context, so a cold
+// array never starves its background work.
+func (g *Governor) Threatened() bool {
+	if g == nil || g.budget <= 0 || g.tracker.Count() < g.minSamples {
+		return false
+	}
+	return g.tracker.Percentile(99.9) > g.budget
+}
+
+// P999 returns the current p99.9 of the window (0 when empty).
+func (g *Governor) P999() sim.Time {
+	if g == nil {
+		return 0
+	}
+	return g.tracker.Percentile(99.9)
+}
+
+// NoteDeferral counts one background operation deferred in favor of
+// foreground reads.
+func (g *Governor) NoteDeferral() {
+	if g != nil {
+		g.deferrals.Add(1)
+	}
+}
+
+// Deferrals returns how many background operations the governor deferred.
+func (g *Governor) Deferrals() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.deferrals.Load()
 }

@@ -65,3 +65,78 @@ func TestPolicyShouldHedge(t *testing.T) {
 		t.Fatal("disabled policy hedged")
 	}
 }
+
+func TestPolicyShouldHedgeUnderSLO(t *testing.T) {
+	// Window: 93 fast reads, 7 slow reads — p90 lands in the fast tier,
+	// p95 in the slow one. A latency between them hedges only while the
+	// SLO is threatened.
+	p := Policy{HedgePercentile: 95, SLOHedgePercentile: 90, MinHedgeSamples: 64}
+	tr := NewTracker(100)
+	for i := 0; i < 93; i++ {
+		tr.Record(100 * sim.Microsecond)
+	}
+	for i := 0; i < 7; i++ {
+		tr.Record(10 * sim.Millisecond)
+	}
+	lat := 1 * sim.Millisecond // above p90 (100µs), below p95 (10ms)
+	if p.ShouldHedgeUnder(tr, lat, false) {
+		t.Fatal("hedged below p95 with SLO healthy")
+	}
+	if !p.ShouldHedgeUnder(tr, lat, true) {
+		t.Fatal("did not hedge above p90 with SLO threatened")
+	}
+	// Without the SLO percentile the threatened bit changes nothing.
+	plain := Policy{HedgePercentile: 95, MinHedgeSamples: 64}
+	if plain.ShouldHedgeUnder(tr, lat, true) {
+		t.Fatal("policy without SLOHedgePercentile hedged early")
+	}
+}
+
+func TestGovernor(t *testing.T) {
+	g := NewGovernor(sim.Millisecond, 256)
+	if g.Threatened() {
+		t.Fatal("cold governor threatened")
+	}
+	// Below the minimum sample count: never threatened, even if slow.
+	for i := 0; i < 63; i++ {
+		g.RecordRead(10 * sim.Millisecond)
+	}
+	if g.Threatened() {
+		t.Fatal("threatened without minimum context")
+	}
+	g.RecordRead(10 * sim.Millisecond)
+	if !g.Threatened() {
+		t.Fatal("p99.9 over budget not reported")
+	}
+	if g.P999() <= sim.Millisecond {
+		t.Fatalf("P999 = %v", g.P999())
+	}
+	// Fast reads age the slow regime out of the window.
+	for i := 0; i < 256; i++ {
+		g.RecordRead(100 * sim.Microsecond)
+	}
+	if g.Threatened() {
+		t.Fatal("still threatened after recovery")
+	}
+	g.NoteDeferral()
+	g.NoteDeferral()
+	if g.Deferrals() != 2 {
+		t.Fatalf("Deferrals = %d", g.Deferrals())
+	}
+}
+
+func TestGovernorDisabledAndNil(t *testing.T) {
+	off := NewGovernor(-1, 16)
+	for i := 0; i < 128; i++ {
+		off.RecordRead(sim.Second)
+	}
+	if off.Threatened() {
+		t.Fatal("disabled governor threatened")
+	}
+	var nilGov *Governor
+	nilGov.RecordRead(sim.Second)
+	nilGov.NoteDeferral()
+	if nilGov.Threatened() || nilGov.Deferrals() != 0 || nilGov.Budget() != 0 || nilGov.P999() != 0 {
+		t.Fatal("nil governor not inert")
+	}
+}

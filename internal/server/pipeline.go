@@ -1,0 +1,317 @@
+package server
+
+import (
+	"net"
+	"sync"
+
+	"purity/internal/wire"
+)
+
+// request is one admitted tagged request.
+type request struct {
+	op      byte
+	tag     uint32
+	payload []byte
+	// release returns the request's admission resources (tenant window
+	// slot, byte budget, tag). Called exactly once, after the response is
+	// written or discarded.
+	release func()
+}
+
+// outFrame is one completed response bound for the writer goroutine.
+type outFrame struct {
+	op      byte
+	tag     uint32
+	resp    []byte // tagged-mode response payload (status byte first)
+	release func()
+}
+
+// pconn is one pipelined (v2) connection: the reader goroutine (the
+// connection's accept goroutine) admits requests, Config.Workers goroutines
+// dispatch them out of order, and a single writer goroutine serializes
+// completions onto the socket — the only place response frames are written,
+// so frames can never interleave.
+type pconn struct {
+	s    *Server
+	conn net.Conn
+
+	hi  chan *request // foreground reads
+	lo  chan *request // everything else
+	out chan outFrame
+
+	// tags tracks in-flight request tags for duplicate detection. Guarded
+	// by tagMu (claimed by the reader, dropped at completion by the
+	// writer's release callbacks).
+	tagMu sync.Mutex
+	tags  map[uint32]struct{}
+
+	// tenants maps volume → in-flight window semaphore. The map itself is
+	// touched only by the reader goroutine; the channels it holds are
+	// shared with release callbacks.
+	tenants map[uint64]chan struct{}
+}
+
+// servePipelined runs one v2 connection to completion.
+func (s *Server) servePipelined(conn net.Conn) {
+	c := &pconn{
+		s:       s,
+		conn:    conn,
+		hi:      make(chan *request, s.cfg.QueueDepth),
+		lo:      make(chan *request, s.cfg.QueueDepth),
+		out:     make(chan outFrame, s.cfg.QueueDepth),
+		tags:    make(map[uint32]struct{}),
+		tenants: make(map[uint64]chan struct{}),
+	}
+	var workers sync.WaitGroup
+	for i := 0; i < s.cfg.Workers; i++ {
+		workers.Add(1)
+		go c.worker(&workers)
+	}
+	writerDone := make(chan struct{})
+	go c.writer(writerDone)
+
+	c.readLoop()
+	// Orderly drain: no new requests; workers finish what was admitted,
+	// then the writer flushes every completion (running each release).
+	close(c.hi)
+	close(c.lo)
+	workers.Wait()
+	close(c.out)
+	<-writerDone
+}
+
+// readLoop admits requests until the connection dies or the client commits
+// a protocol violation. Admission can block — that is the design: a tenant
+// over its window, or a connection over the global byte budget, stalls
+// here, which backpressures the TCP stream instead of queueing unboundedly.
+func (c *pconn) readLoop() {
+	for {
+		op, tag, payload, err := wire.ReadTaggedFrame(c.conn)
+		if err != nil {
+			c.s.countReadErr(err)
+			return
+		}
+		if !c.claimTag(tag) {
+			// A tag reused while still in flight would make two responses
+			// carry the same tag — the initiator could never match them.
+			// Report once, then kill the connection (the stream is
+			// unsynchronized from the server's point of view).
+			c.s.tel.DuplicateTags.Inc()
+			c.out <- outFrame{op: op, tag: tag,
+				resp: wire.ErrResponse(wire.CodeDuplicateTag, "tag already in flight")}
+			return
+		}
+		waited := false
+		ten := c.tenantWindow(tenantOf(op, payload))
+		select {
+		case ten <- struct{}{}:
+		default:
+			waited = true
+			c.s.tel.AdmissionWaits.Inc()
+			ten <- struct{}{}
+		}
+		cost := admissionCost(op, payload)
+		if c.s.budget.acquire(cost) && !waited {
+			c.s.tel.AdmissionWaits.Inc()
+		}
+		r := &request{op: op, tag: tag, payload: payload, release: func() {
+			<-ten
+			c.s.budget.release(cost)
+			c.dropTag(tag)
+		}}
+		if op == wire.OpRead {
+			c.hi <- r
+		} else {
+			c.lo <- r
+		}
+	}
+}
+
+// worker dispatches admitted requests. While the engine's SLO governor
+// reports the foreground read tail over budget, the hi (read) queue drains
+// strictly first — the front-end half of §4.4's "foreground outranks
+// background" rule; otherwise the two queues are served fairly.
+func (c *pconn) worker(wg *sync.WaitGroup) {
+	defer wg.Done()
+	hi, lo := c.hi, c.lo
+	for hi != nil || lo != nil {
+		var r *request
+		var ok bool
+		if hi != nil && c.s.governor().Threatened() {
+			select {
+			case r, ok = <-hi:
+				if !ok {
+					hi = nil
+					continue
+				}
+			default:
+				select {
+				case r, ok = <-hi:
+					if !ok {
+						hi = nil
+						continue
+					}
+				case r, ok = <-lo:
+					if !ok {
+						lo = nil
+						continue
+					}
+				}
+			}
+		} else {
+			select {
+			case r, ok = <-hi:
+				if !ok {
+					hi = nil
+					continue
+				}
+			case r, ok = <-lo:
+				if !ok {
+					lo = nil
+					continue
+				}
+			}
+		}
+		c.run(r)
+	}
+}
+
+// run executes one request and hands its completion to the writer.
+func (c *pconn) run(r *request) {
+	if hook := c.s.stall; hook != nil {
+		hook(r.op, r.payload)
+	}
+	resp, err := c.s.dispatch(r.op, r.payload)
+	var frame []byte
+	if err != nil {
+		frame = wire.ErrResponse(errCode(err), err.Error())
+	} else {
+		frame = wire.OKResponse(resp)
+	}
+	c.out <- outFrame{op: r.op, tag: r.tag, resp: frame, release: r.release}
+}
+
+// writer is the single goroutine that writes response frames. After a write
+// failure it stops writing but keeps draining, so every release callback
+// still runs and no worker blocks on a dead connection.
+func (c *pconn) writer(done chan struct{}) {
+	defer close(done)
+	failed := false
+	for f := range c.out {
+		if !failed {
+			if err := wire.WriteTaggedFrame(c.conn, f.op, f.tag, f.resp); err != nil {
+				failed = true
+				// Unblock the reader; its net.ErrClosed is not re-counted.
+				//lint:ignore errdrop the write failure is the root cause and is counted below; this close is best-effort
+				c.conn.Close()
+				c.s.tel.AbnormalDisconnects.Inc()
+			}
+		}
+		if f.release != nil {
+			f.release()
+		}
+	}
+}
+
+// claimTag records a tag as in flight; false means it already is.
+func (c *pconn) claimTag(tag uint32) bool {
+	c.tagMu.Lock()
+	defer c.tagMu.Unlock()
+	if _, dup := c.tags[tag]; dup {
+		return false
+	}
+	c.tags[tag] = struct{}{}
+	return true
+}
+
+// dropTag retires a completed tag.
+func (c *pconn) dropTag(tag uint32) {
+	c.tagMu.Lock()
+	delete(c.tags, tag)
+	c.tagMu.Unlock()
+}
+
+// tenantWindow returns (lazily creating) the tenant's in-flight window.
+// Reader-goroutine only.
+func (c *pconn) tenantWindow(tenant uint64) chan struct{} {
+	w, ok := c.tenants[tenant]
+	if !ok {
+		w = make(chan struct{}, c.s.cfg.TenantWindow)
+		c.tenants[tenant] = w
+	}
+	return w
+}
+
+// tenantOf extracts the admission tenant: the target volume for data-path
+// and volume-lifecycle ops, the shared control tenant (0) for everything
+// else. A short payload yields tenant 0 and is rejected by dispatch.
+func tenantOf(op byte, payload []byte) uint64 {
+	switch op {
+	case wire.OpRead, wire.OpWrite, wire.OpSnapshot, wire.OpClone, wire.OpDelete:
+		d := wire.Dec{B: payload}
+		return d.U64()
+	}
+	return 0
+}
+
+// admissionCost estimates a request's in-flight byte footprint: its payload
+// plus, for reads, the response it will pin.
+func admissionCost(op byte, payload []byte) int64 {
+	cost := int64(len(payload)) + 512 // response floor
+	if op == wire.OpRead {
+		d := wire.Dec{B: payload}
+		d.U64() // vol
+		d.U64() // off
+		n := d.U64()
+		if d.OK() && n <= wire.MaxReadLen {
+			cost += int64(n)
+		}
+	}
+	return cost
+}
+
+// byteBudget is the global in-flight payload budget. Admission blocks while
+// granting n would exceed the cap; a single request larger than the whole
+// cap is clamped so it can still run (alone).
+type byteBudget struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	cap  int64
+	used int64
+}
+
+func newByteBudget(capBytes int64) *byteBudget {
+	b := &byteBudget{cap: capBytes}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *byteBudget) clamp(n int64) int64 {
+	if n > b.cap {
+		return b.cap
+	}
+	return n
+}
+
+// acquire blocks until n bytes fit and reports whether it had to wait.
+func (b *byteBudget) acquire(n int64) bool {
+	n = b.clamp(n)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	waited := false
+	for b.used+n > b.cap {
+		waited = true
+		b.cond.Wait()
+	}
+	b.used += n
+	return waited
+}
+
+// release returns n bytes to the budget.
+func (b *byteBudget) release(n int64) {
+	n = b.clamp(n)
+	b.mu.Lock()
+	b.used -= n
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}

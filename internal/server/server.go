@@ -5,77 +5,306 @@
 // port; the secondary forwards to the primary at an interconnect-latency
 // cost.
 //
-// Each accepted connection is served by its own goroutine and dispatches
-// straight into the engine with no server-side serialization: the engine's
-// write path runs compression and dedup hashing before taking its lock
-// (core.Array.WriteAtConcurrent), so N connections use N cores for the
-// CPU-heavy stages; with Config.CommitLanes > 1 the commit section itself
-// shards into per-volume lanes (DESIGN.md, "Sharded commit"), leaving the
-// NVRAM group commit and brief engine-mutex sections as the serial core.
+// Connections come in two flavours (negotiated by the first frame, see
+// package wire): legacy v1 lock-step request/reply, served exactly as
+// before, and the tagged v2 protocol, where one connection carries many
+// in-flight requests. A v2 connection is three kinds of goroutine — a
+// reader that admits requests (per-tenant in-flight windows plus a global
+// byte budget, both exerting backpressure rather than dropping), a bounded
+// worker set that dispatches into the engine out of order, and a single
+// writer that serializes completions back onto the socket so response
+// frames can never interleave. The engine's write path runs compression and
+// dedup hashing before taking its lock (core.Array.WriteAtConcurrent), so N
+// in-flight requests use N cores for the CPU-heavy stages; with
+// Config.CommitLanes > 1 the commit section itself shards into per-volume
+// lanes (DESIGN.md, "Sharded commit").
+//
+// Scheduling honours the paper's §4.4 tail SLO: while the engine's governor
+// reports the foreground read p99.9 over budget, workers drain the
+// foreground read queue before anything else.
 package server
 
 import (
+	"errors"
 	"fmt"
+	"io"
 	"net"
 	"time"
 
 	"purity/internal/controller"
 	"purity/internal/core"
+	"purity/internal/iosched"
 	"purity/internal/sim"
+	"purity/internal/telemetry"
 	"purity/internal/wire"
 )
+
+// Config tunes the pipelined front end. The zero value takes defaults.
+type Config struct {
+	// Workers bounds the per-connection dispatch goroutines (in-flight
+	// requests actually executing; more are queued).
+	Workers int
+	// QueueDepth bounds each per-connection dispatch queue; a full queue
+	// backpressures the connection's reader.
+	QueueDepth int
+	// TenantWindow caps in-flight requests per tenant (per volume) on one
+	// connection; an over-window tenant backpressures the connection.
+	TenantWindow int
+	// MaxInflightBytes is the global (cross-connection) budget for
+	// in-flight request+response payload bytes.
+	MaxInflightBytes int64
+	// Pace, when true, holds each response until the engine's simulated
+	// service time has elapsed in wall time, so the served array exhibits
+	// its device model's latency instead of raw loopback+CPU speed. The
+	// lock-step v1 protocol serializes these waits; the tagged v2 protocol
+	// overlaps them — which is the whole case for pipelining.
+	Pace bool
+}
+
+// DefaultConfig sizes the front end for the scaled-down arrays in this
+// repository.
+func DefaultConfig() Config {
+	return Config{
+		Workers:          4,
+		QueueDepth:       64,
+		TenantWindow:     32,
+		MaxInflightBytes: 64 << 20,
+	}
+}
+
+func (c Config) normalize() Config {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.TenantWindow <= 0 {
+		c.TenantWindow = 32
+	}
+	if c.MaxInflightBytes <= 0 {
+		c.MaxInflightBytes = 64 << 20
+	}
+	return c
+}
 
 // Server serves one controller's port.
 type Server struct {
 	pair *controller.Pair
 	via  controller.Role
+	cfg  Config
 
-	epoch time.Time // wall-clock origin for the simulated timeline
+	epoch  time.Time // wall-clock origin for the simulated timeline
+	tel    *telemetry.Frontend
+	budget *byteBudget
+
+	// stall, when set, runs in a worker just before dispatch — a test hook
+	// for forcing a request to be slow so out-of-order completion and
+	// admission backpressure are provable.
+	stall func(op byte, payload []byte)
 }
 
 // New returns a server for the given controller of a pair.
 func New(pair *controller.Pair, via controller.Role) *Server {
-	return &Server{pair: pair, via: via, epoch: time.Now()}
+	return NewWithConfig(pair, via, DefaultConfig())
 }
+
+// NewWithConfig returns a server with explicit front-end tuning.
+func NewWithConfig(pair *controller.Pair, via controller.Role, cfg Config) *Server {
+	cfg = cfg.normalize()
+	return &Server{
+		pair:   pair,
+		via:    via,
+		cfg:    cfg,
+		epoch:  time.Now(),
+		tel:    &telemetry.Frontend{},
+		budget: newByteBudget(cfg.MaxInflightBytes),
+	}
+}
+
+// Frontend exposes the server's wire-level health counters.
+func (s *Server) Frontend() *telemetry.Frontend { return s.tel }
 
 // now maps wall time onto the simulated timeline, so a served array's
 // device model experiences realistic inter-arrival times.
 func (s *Server) now() sim.Time { return sim.Time(time.Since(s.epoch).Nanoseconds()) }
 
-// Serve accepts connections until the listener closes.
+// governor returns the live engine's SLO governor (nil-safe: a nil Governor
+// never reports Threatened).
+func (s *Server) governor() *iosched.Governor {
+	if a := s.pair.Array(); a != nil {
+		return a.Governor()
+	}
+	return nil
+}
+
+// Serve accepts connections until the listener closes. Transient Accept
+// failures (EMFILE under connection storms, ECONNABORTED races) no longer
+// kill the listener: they retry with capped exponential backoff, and Serve
+// returns only once the listener itself is closed.
 func (s *Server) Serve(l net.Listener) error {
+	var backoff time.Duration
 	for {
 		conn, err := l.Accept()
 		if err != nil {
-			return err
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			if backoff == 0 {
+				backoff = 5 * time.Millisecond
+			} else if backoff *= 2; backoff > time.Second {
+				backoff = time.Second
+			}
+			s.tel.AcceptRetries.Inc()
+			time.Sleep(backoff)
+			continue
 		}
+		backoff = 0
 		go s.handle(conn)
 	}
 }
 
+// handle classifies a new connection by its first frame: an OpHello
+// negotiates the protocol version (and usually upgrades to the tagged
+// pipelined mode); anything else is a legacy v1 initiator and is served
+// lock-step, unchanged.
 func (s *Server) handle(conn net.Conn) {
 	defer conn.Close()
-	for {
-		op, payload, err := wire.ReadFrame(conn)
-		if err != nil {
+	op, payload, err := wire.ReadFrame(conn)
+	if err != nil {
+		s.countReadErr(err)
+		return
+	}
+	if op == wire.OpHello {
+		d := wire.Dec{B: payload}
+		ver := d.U64()
+		if !d.OK() {
+			s.tel.MalformedFrames.Inc()
 			return
 		}
+		accepted := wire.ProtoSync
+		if ver >= wire.ProtoTagged {
+			accepted = wire.ProtoTagged
+		}
+		var e wire.Enc
+		if wire.RespondOK(conn, wire.OpHello, e.U64(accepted).B) != nil {
+			s.tel.AbnormalDisconnects.Inc()
+			return
+		}
+		if accepted == wire.ProtoTagged {
+			s.tel.PipelinedConns.Inc()
+			s.servePipelined(conn)
+			return
+		}
+		s.tel.LegacyConns.Inc()
+		s.serveLegacy(conn, 0, nil, false)
+		return
+	}
+	s.tel.LegacyConns.Inc()
+	s.serveLegacy(conn, op, payload, true)
+}
+
+// serveLegacy is the v1 lock-step loop. When pending is true the first
+// request was already read by handle during protocol sniffing.
+func (s *Server) serveLegacy(conn net.Conn, op byte, payload []byte, pending bool) {
+	for {
+		if !pending {
+			var err error
+			op, payload, err = wire.ReadFrame(conn)
+			if err != nil {
+				s.countReadErr(err)
+				return
+			}
+		}
+		pending = false
 		resp, err := s.dispatch(op, payload)
 		if err != nil {
 			if wire.RespondErr(conn, op, err) != nil {
+				s.tel.AbnormalDisconnects.Inc()
 				return
 			}
 			continue
 		}
 		if wire.RespondOK(conn, op, resp) != nil {
+			s.tel.AbnormalDisconnects.Inc()
 			return
 		}
 	}
 }
 
+// countReadErr attributes a connection-terminating read failure: clean EOFs
+// at a frame boundary are normal; everything else lands in a counter that
+// used to not exist (the old server dropped all of these silently).
+func (s *Server) countReadErr(err error) {
+	switch {
+	case err == nil || errors.Is(err, io.EOF):
+		// Clean shutdown between frames.
+	case errors.Is(err, wire.ErrFrameTooLarge):
+		s.tel.OversizedFrames.Inc()
+	case errors.Is(err, wire.ErrBadFrame):
+		s.tel.MalformedFrames.Inc()
+	case errors.Is(err, net.ErrClosed):
+		// We closed it (server shutdown or a writer failure already
+		// counted).
+	default:
+		// Partial frame, connection reset, timeout: the client vanished
+		// mid-stream.
+		s.tel.AbnormalDisconnects.Inc()
+	}
+}
+
+// Typed dispatch failures, so tagged responses can carry structured codes.
+var (
+	// ErrReadTooLarge rejects a client-supplied read length beyond
+	// wire.MaxReadLen. The length field is attacker controlled; before this
+	// check a single 17-byte frame could demand a multi-GiB allocation.
+	ErrReadTooLarge = errors.New("server: read length exceeds wire.MaxReadLen")
+	// ErrUnknownOp rejects an unrecognized opcode.
+	ErrUnknownOp = errors.New("server: unknown opcode")
+)
+
+// errCode maps a dispatch failure to its wire error code.
+func errCode(err error) uint32 {
+	var d *wire.RemoteError
+	switch {
+	case errors.Is(err, ErrReadTooLarge):
+		return wire.CodeTooLarge
+	case errors.Is(err, ErrUnknownOp):
+		return wire.CodeUnknownOp
+	case errors.Is(err, io.ErrUnexpectedEOF):
+		return wire.CodeBadPayload
+	case errors.As(err, &d):
+		return d.Code
+	default:
+		return wire.CodeInternal
+	}
+}
+
+// pace holds the caller until a data-path op's simulated completion time has
+// elapsed in wall time (no-op unless Config.Pace). The cap bounds the damage
+// of a simulated-device convoy: pacing demonstrates latency, it must not
+// wedge a worker.
+func (s *Server) pace(at, done sim.Time) {
+	if !s.cfg.Pace || done <= at {
+		return
+	}
+	d := time.Duration(done - at)
+	if d > 100*time.Millisecond {
+		d = 100 * time.Millisecond
+	}
+	time.Sleep(d)
+}
+
+// badPayload counts an undecodable request payload and propagates its
+// decode error.
+func (s *Server) badPayload(err error) error {
+	s.tel.MalformedFrames.Inc()
+	return err
+}
+
 // dispatch runs one request against the engine. Called concurrently from
-// every connection goroutine; the Pair and the engine synchronize
-// internally.
+// every connection goroutine and worker; the Pair and the engine
+// synchronize internally.
 func (s *Server) dispatch(op byte, payload []byte) ([]byte, error) {
 	at := s.now()
 	a := s.pair.Array()
@@ -88,7 +317,7 @@ func (s *Server) dispatch(op byte, payload []byte) ([]byte, error) {
 		name := d.Str()
 		size := d.U64()
 		if !d.OK() {
-			return nil, d.Err
+			return nil, s.badPayload(d.Err)
 		}
 		id, _, err := a.CreateVolume(at, name, int64(size))
 		if err != nil {
@@ -100,7 +329,7 @@ func (s *Server) dispatch(op byte, payload []byte) ([]byte, error) {
 	case wire.OpOpenVolume:
 		name := d.Str()
 		if !d.OK() {
-			return nil, d.Err
+			return nil, s.badPayload(d.Err)
 		}
 		infos, _, err := a.Volumes(at)
 		if err != nil {
@@ -135,32 +364,45 @@ func (s *Server) dispatch(op byte, payload []byte) ([]byte, error) {
 		off := d.U64()
 		n := d.U64()
 		if !d.OK() {
-			return nil, d.Err
+			return nil, s.badPayload(d.Err)
 		}
-		data, _, err := s.pair.ReadAt(at, s.via, core.VolumeID(vol), int64(off), int(n))
+		// Clamp the client-supplied length BEFORE it sizes an allocation:
+		// n is attacker controlled and anything over MaxReadLen could not
+		// be framed in a response anyway.
+		if n > wire.MaxReadLen {
+			s.tel.RejectedReads.Inc()
+			return nil, fmt.Errorf("%w: %d > %d", ErrReadTooLarge, n, wire.MaxReadLen)
+		}
+		data, done, err := s.pair.ReadAt(at, s.via, core.VolumeID(vol), int64(off), int(n))
 		if err != nil {
 			return nil, err
 		}
+		s.pace(at, done)
 		var e wire.Enc
 		return e.Bytes(data).B, nil
 
 	case wire.OpWrite:
 		vol := d.U64()
 		off := d.U64()
-		data := d.Bytes()
+		// Dec.Bytes aliases the frame buffer; the engine retains write data
+		// beyond this dispatch (NVRAM mirrors, dedup candidates), and v2
+		// frames are handled by concurrent workers — copy at the boundary.
+		data := append([]byte(nil), d.Bytes()...)
 		if !d.OK() {
-			return nil, d.Err
+			return nil, s.badPayload(d.Err)
 		}
-		if _, err := s.pair.WriteAt(at, s.via, core.VolumeID(vol), int64(off), data); err != nil {
+		done, err := s.pair.WriteAt(at, s.via, core.VolumeID(vol), int64(off), data)
+		if err != nil {
 			return nil, err
 		}
+		s.pace(at, done)
 		return nil, nil
 
 	case wire.OpSnapshot:
 		vol := d.U64()
 		name := d.Str()
 		if !d.OK() {
-			return nil, d.Err
+			return nil, s.badPayload(d.Err)
 		}
 		id, _, err := a.Snapshot(at, core.VolumeID(vol), name)
 		if err != nil {
@@ -173,7 +415,7 @@ func (s *Server) dispatch(op byte, payload []byte) ([]byte, error) {
 		snap := d.U64()
 		name := d.Str()
 		if !d.OK() {
-			return nil, d.Err
+			return nil, s.badPayload(d.Err)
 		}
 		id, _, err := a.Clone(at, core.VolumeID(snap), name)
 		if err != nil {
@@ -185,25 +427,30 @@ func (s *Server) dispatch(op byte, payload []byte) ([]byte, error) {
 	case wire.OpDelete:
 		vol := d.U64()
 		if !d.OK() {
-			return nil, d.Err
+			return nil, s.badPayload(d.Err)
 		}
 		_, err := a.Delete(at, core.VolumeID(vol))
 		return nil, err
 
 	case wire.OpStats:
 		st := a.Stats()
+		gov := a.Governor()
 		text := fmt.Sprintf(
 			"writes=%d reads=%d\nwrite latency: %s\nread latency: %s\n"+
 				"reduction=%.2fx (logical=%d physical=%d dedup=%d)\n"+
 				"dedup hits=%d misses=%d\nsegments=%d frontierAUs=%d freeAUs=%d\n"+
 				"gc runs=%d checkpoints=%d frontier writes=%d\n"+
-				"flash: host W=%d flash W=%d erases=%d\n",
+				"flash: host W=%d flash W=%d erases=%d\n"+
+				"slo: budget=%v p99.9=%v threatened=%v deferrals=%d scrub deferrals=%d\n"+
+				"frontend: %s\n",
 			st.Writes, st.Reads,
 			st.WriteLatency.Summary(), st.ReadLatency.Summary(),
 			st.ReductionRatio, st.Reduction.LogicalBytes, st.Reduction.PhysicalBytes, st.Reduction.DedupBytes,
 			st.DedupHits, st.DedupMisses, st.Segments, st.FrontierAUs, st.FreeAUs,
 			st.GCRuns, st.Checkpoints, st.FrontierWrites,
 			st.FlashStats.HostBytesWritten, st.FlashStats.FlashBytesWritten, st.FlashStats.Erases,
+			gov.Budget(), gov.P999(), gov.Threatened(), gov.Deferrals(), st.ScrubDeferrals,
+			s.tel.Summary(),
 		)
 		var e wire.Enc
 		return e.Str(text).B, nil
@@ -221,6 +468,6 @@ func (s *Server) dispatch(op byte, payload []byte) ([]byte, error) {
 		return e.Str(fmt.Sprintf("%+v", rep)).B, nil
 
 	default:
-		return nil, fmt.Errorf("server: unknown opcode %d", op)
+		return nil, fmt.Errorf("%w: %d", ErrUnknownOp, op)
 	}
 }

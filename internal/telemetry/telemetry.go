@@ -31,6 +31,41 @@ func (c *Counter) Add(n int64) { c.v.Add(n) }
 // Load returns the current count.
 func (c *Counter) Load() int64 { return c.v.Load() }
 
+// Frontend aggregates the TCP front end's wire-level health counters —
+// events the server used to drop on the floor when a connection died or a
+// frame failed to parse. A nonzero MalformedFrames or OversizedFrames rate
+// is the first sign of a buggy (or hostile) initiator; AbnormalDisconnects
+// separates clients that vanished mid-frame from clean EOFs. All fields are
+// lock-free Counters, safe for concurrent use from every connection.
+type Frontend struct {
+	// Connection census.
+	LegacyConns    Counter // connections served in v1 lock-step mode
+	PipelinedConns Counter // connections that negotiated the tagged protocol
+
+	// Wire-level failures.
+	MalformedFrames     Counter // structurally invalid frames / undecodable payloads
+	OversizedFrames     Counter // frames (or read requests) beyond MaxFrame bounds
+	AbnormalDisconnects Counter // connections that died mid-stream (not a clean EOF)
+	DuplicateTags       Counter // v2 tags reused while still in flight (connection killed)
+	RejectedReads       Counter // OpRead lengths clamped against wire.MaxReadLen
+
+	// Admission control.
+	AdmissionWaits Counter // requests that blocked on a tenant window or the byte budget
+	AcceptRetries  Counter // transient Accept failures survived with backoff
+}
+
+// Summary renders the counters on one line, in a fixed order.
+func (f *Frontend) Summary() string {
+	return fmt.Sprintf(
+		"conns legacy=%d pipelined=%d; frames malformed=%d oversized=%d; "+
+			"disconnects abnormal=%d; tags duplicate=%d; reads rejected=%d; "+
+			"admission waits=%d; accept retries=%d",
+		f.LegacyConns.Load(), f.PipelinedConns.Load(),
+		f.MalformedFrames.Load(), f.OversizedFrames.Load(),
+		f.AbnormalDisconnects.Load(), f.DuplicateTags.Load(), f.RejectedReads.Load(),
+		f.AdmissionWaits.Load(), f.AcceptRetries.Load())
+}
+
 // Histogram records durations in logarithmic buckets (about 24 buckets per
 // decade) for cheap, accurate-enough percentiles. Safe for concurrent use.
 type Histogram struct {

@@ -3,6 +3,22 @@
 // over standard networks; clients treat the two controllers' ports
 // interchangeably). Frames are length-prefixed; integers are little-endian;
 // strings and byte blobs are length-prefixed.
+//
+// Two protocol versions share the framing:
+//
+//   - ProtoSync (v1, legacy): untagged lock-step request/reply. A frame is
+//     u32 length | op byte | payload; the client sends one request and
+//     waits for its response before sending the next.
+//   - ProtoTagged (v2): every frame additionally carries a u32 request tag
+//     after the opcode (u32 length | op | u32 tag | payload). A connection
+//     may have many requests in flight and responses complete out of
+//     order, matched to requests by tag — the shape of real block front
+//     ends (iSCSI task tags, NVMe-oF command IDs).
+//
+// A v2 client announces itself with an OpHello frame (legacy framing, u64
+// version payload) as its first bytes; the server replies with the accepted
+// version and both sides switch to tagged framing. A client that skips the
+// hello is served in v1 lock-step mode, so old initiators keep working.
 package wire
 
 import (
@@ -25,6 +41,17 @@ const (
 	OpStats        byte = 9
 	OpFlush        byte = 10
 	OpGC           byte = 11
+	// OpHello negotiates the protocol version. Sent as the first frame of a
+	// connection in legacy framing with a u64 version payload; the server
+	// responds with the version it accepted and, when that is ProtoTagged,
+	// the connection switches to tagged framing for everything after.
+	OpHello byte = 12
+)
+
+// Protocol versions carried in OpHello.
+const (
+	ProtoSync   uint64 = 1 // untagged lock-step request/reply
+	ProtoTagged uint64 = 2 // tagged, pipelined, out-of-order completion
 )
 
 // Response status.
@@ -33,35 +60,64 @@ const (
 	StatusErr byte = 1
 )
 
+// Error codes carried in tagged-mode (v2) error responses, so initiators
+// can react structurally instead of parsing message text. v1 responses
+// carry only the message.
+const (
+	CodeInternal     uint32 = 0 // engine/controller error; msg has detail
+	CodeBadPayload   uint32 = 1 // request payload failed to decode
+	CodeTooLarge     uint32 = 2 // request or requested response exceeds frame bounds
+	CodeDuplicateTag uint32 = 3 // tag already in flight on this connection
+	CodeUnknownOp    uint32 = 4 // opcode not recognized
+)
+
 // MaxFrame bounds a frame's payload; large I/O is split by the client.
 const MaxFrame = 16 << 20
+
+// MaxReadLen bounds a single OpRead's requested byte count so the response
+// (status byte, optional error code, length prefix, data, plus op/tag
+// framing) always fits in MaxFrame. Servers MUST clamp client-supplied read
+// lengths against this before allocating: the length field is attacker
+// controlled and would otherwise size an arbitrary allocation.
+const MaxReadLen = MaxFrame - 64
 
 // ErrFrameTooLarge is returned for oversized frames.
 var ErrFrameTooLarge = errors.New("wire: frame exceeds MaxFrame")
 
-// WriteFrame sends one frame: u32 length, opcode byte, payload.
+// ErrBadFrame is returned for structurally invalid frames: a zero-length
+// frame (no opcode), or a tagged frame too short to carry its tag.
+var ErrBadFrame = errors.New("wire: malformed frame")
+
+// WriteFrame sends one legacy (v1) frame: u32 length, opcode byte, payload.
+// The frame is assembled into a single buffer and issued as ONE Write so
+// that two goroutines sharing a serialized io.Writer can never interleave a
+// header with another frame's payload. (Callers still must not call
+// WriteFrame concurrently on the same writer unless the writer itself is
+// atomic per call — net.Conn is not — but a single Write keeps the failure
+// mode "torn between frames", never "torn inside a frame".)
 func WriteFrame(w io.Writer, op byte, payload []byte) error {
 	if len(payload)+1 > MaxFrame {
 		return ErrFrameTooLarge
 	}
-	var hdr [5]byte
-	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)+1))
-	hdr[4] = op
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err := w.Write(payload)
+	buf := make([]byte, 5+len(payload))
+	binary.LittleEndian.PutUint32(buf[:4], uint32(len(payload)+1))
+	buf[4] = op
+	copy(buf[5:], payload)
+	_, err := w.Write(buf)
 	return err
 }
 
-// ReadFrame receives one frame.
+// ReadFrame receives one legacy (v1) frame.
 func ReadFrame(r io.Reader) (byte, []byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return 0, nil, err
 	}
 	n := binary.LittleEndian.Uint32(hdr[:])
-	if n == 0 || n > MaxFrame {
+	if n == 0 {
+		return 0, nil, ErrBadFrame
+	}
+	if n > MaxFrame {
 		return 0, nil, ErrFrameTooLarge
 	}
 	body := make([]byte, n)
@@ -71,12 +127,53 @@ func ReadFrame(r io.Reader) (byte, []byte, error) {
 	return body[0], body[1:], nil
 }
 
+// WriteTaggedFrame sends one v2 frame: u32 length, opcode byte, u32 tag,
+// payload — assembled and written as a single Write (see WriteFrame).
+func WriteTaggedFrame(w io.Writer, op byte, tag uint32, payload []byte) error {
+	if len(payload)+5 > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	buf := make([]byte, 9+len(payload))
+	binary.LittleEndian.PutUint32(buf[:4], uint32(len(payload)+5))
+	buf[4] = op
+	binary.LittleEndian.PutUint32(buf[5:9], tag)
+	copy(buf[9:], payload)
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadTaggedFrame receives one v2 frame.
+func ReadTaggedFrame(r io.Reader) (byte, uint32, []byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return 0, 0, nil, ErrFrameTooLarge
+	}
+	if n < 5 {
+		return 0, 0, nil, ErrBadFrame
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, 0, nil, err
+	}
+	return body[0], binary.LittleEndian.Uint32(body[1:5]), body[5:], nil
+}
+
 // Enc builds payloads.
 type Enc struct{ B []byte }
 
 // U64 appends an unsigned integer.
 func (e *Enc) U64(v uint64) *Enc {
 	e.B = binary.LittleEndian.AppendUint64(e.B, v)
+	return e
+}
+
+// U32 appends a 32-bit unsigned integer.
+func (e *Enc) U32(v uint32) *Enc {
+	e.B = binary.LittleEndian.AppendUint32(e.B, v)
 	return e
 }
 
@@ -91,6 +188,13 @@ func (e *Enc) Bytes(b []byte) *Enc {
 func (e *Enc) Str(s string) *Enc { return e.Bytes([]byte(s)) }
 
 // Dec parses payloads.
+//
+// Aliasing contract: Bytes (and anything built on it) returns a sub-slice
+// of d.B — it does NOT copy. The returned slice is only valid while the
+// frame buffer it came from is; a consumer that retains the data past the
+// request's dispatch, hands it to another goroutine, or lives above a
+// buffer-pooling transport MUST copy at the boundary where the frame's
+// lifetime ends (Str is safe: string conversion copies).
 type Dec struct {
 	B   []byte
 	Err error
@@ -110,7 +214,22 @@ func (d *Dec) U64() uint64 {
 	return v
 }
 
-// Bytes reads a length-prefixed blob (aliasing the input).
+// U32 reads a 32-bit unsigned integer.
+func (d *Dec) U32() uint32 {
+	if d.Err != nil {
+		return 0
+	}
+	if len(d.B) < 4 {
+		d.Err = io.ErrUnexpectedEOF
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.B)
+	d.B = d.B[4:]
+	return v
+}
+
+// Bytes reads a length-prefixed blob. The result aliases the frame buffer
+// (see the type comment); copy before retaining.
 func (d *Dec) Bytes() []byte {
 	if d.Err != nil {
 		return nil
@@ -130,13 +249,13 @@ func (d *Dec) Bytes() []byte {
 	return out
 }
 
-// Str reads a length-prefixed string.
+// Str reads a length-prefixed string (copies; safe to retain).
 func (d *Dec) Str() string { return string(d.Bytes()) }
 
 // OK reports whether the payload decoded fully and cleanly.
 func (d *Dec) OK() bool { return d.Err == nil }
 
-// RespondErr frames an error response.
+// RespondErr frames a legacy (v1) error response.
 func RespondErr(w io.Writer, op byte, err error) error {
 	var e Enc
 	e.B = append(e.B, StatusErr)
@@ -144,12 +263,12 @@ func RespondErr(w io.Writer, op byte, err error) error {
 	return WriteFrame(w, op, e.B)
 }
 
-// RespondOK frames a success response with the given payload.
+// RespondOK frames a legacy (v1) success response with the given payload.
 func RespondOK(w io.Writer, op byte, payload []byte) error {
 	return WriteFrame(w, op, append([]byte{StatusOK}, payload...))
 }
 
-// ParseResponse splits a response into payload or error.
+// ParseResponse splits a legacy (v1) response into payload or error.
 func ParseResponse(payload []byte) ([]byte, error) {
 	if len(payload) < 1 {
 		return nil, io.ErrUnexpectedEOF
@@ -161,6 +280,53 @@ func ParseResponse(payload []byte) ([]byte, error) {
 		d := Dec{B: payload[1:]}
 		msg := d.Str()
 		return nil, fmt.Errorf("server: %s", msg)
+	default:
+		return nil, fmt.Errorf("wire: bad status %d", payload[0])
+	}
+}
+
+// RemoteError is a structured server-side failure from a tagged (v2)
+// response: a machine-readable code plus the human message.
+type RemoteError struct {
+	Code uint32
+	Msg  string
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("server: %s (code %d)", e.Msg, e.Code)
+}
+
+// OKResponse builds a tagged-mode success response payload.
+func OKResponse(payload []byte) []byte {
+	return append([]byte{StatusOK}, payload...)
+}
+
+// ErrResponse builds a tagged-mode error response payload: status byte,
+// u32 error code, length-prefixed message.
+func ErrResponse(code uint32, msg string) []byte {
+	var e Enc
+	e.B = append(e.B, StatusErr)
+	e.U32(code).Str(msg)
+	return e.B
+}
+
+// ParseTaggedResponse splits a tagged (v2) response into payload or a
+// *RemoteError carrying the structured code.
+func ParseTaggedResponse(payload []byte) ([]byte, error) {
+	if len(payload) < 1 {
+		return nil, io.ErrUnexpectedEOF
+	}
+	switch payload[0] {
+	case StatusOK:
+		return payload[1:], nil
+	case StatusErr:
+		d := Dec{B: payload[1:]}
+		code := d.U32()
+		msg := d.Str()
+		if !d.OK() {
+			return nil, d.Err
+		}
+		return nil, &RemoteError{Code: code, Msg: msg}
 	default:
 		return nil, fmt.Errorf("wire: bad status %d", payload[0])
 	}

@@ -46,7 +46,14 @@ go test -race -short -run 'TestConcurrentWriters|TestConcurrentScrubRebuildForeg
 echo "== sharded commit lanes (-race multi-lane writers + crash window)"
 go test -race -short -run 'TestLane' ./internal/core/
 
+echo "== pipelined front end (-race: out-of-order completion, 64 in-flight on one conn, SLO scrub deferral)"
+go test -race -run 'TestPipelined|TestOutOfOrderCompletion|TestDuplicateTagKillsConnection|TestAdmissionWindowBackpressure|TestWireHealthCounters|TestServeSurvivesTransientAcceptErrors' ./internal/server/
+go test -run 'TestScrubDefersUnderSLOPressure|TestScrubRunsWithSLODisabled' ./internal/core/
+
 echo "== E13 smoke (2-lane scaling run; output not committed — see .gitignore)"
 go run ./cmd/purity-bench -experiment E13 -quick > /dev/null
+
+echo "== E14 smoke (pipelined vs sync queue-depth sweep over loopback TCP)"
+go run ./cmd/purity-bench -experiment E14 -quick > /dev/null
 
 echo "ok: all checks passed"
