@@ -21,7 +21,7 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "experiment id (T1, T2, F5-F7, E1-E9, E12-E14, A1, CS) or 'all'")
+	experiment := flag.String("experiment", "all", "experiment id (T1, T2, F5-F7, E1-E9, E12-E15, A1, CS) or 'all'")
 	quick := flag.Bool("quick", false, "smaller workloads (CI-sized)")
 	seed := flag.Uint64("seed", 1, "workload seed")
 	list := flag.Bool("list", false, "list experiments and exit")

@@ -13,6 +13,11 @@
 // served over loopback TCP, pipelined initiators and adversarial probes
 // (duplicate tags, oversized/torn/zero-length frames) drive it, and the
 // wire-health counters plus SLO governor state are dumped.
+//
+// With -ha it tours end-to-end high availability: two servers share one
+// controller pair, an HA initiator writes through chaos-injected
+// connections, the primary is killed mid-service, the heartbeat monitor
+// takes over, and the session-table / wire / drain telemetry is dumped.
 package main
 
 import (
@@ -31,10 +36,15 @@ func main() {
 	lanes := flag.Int("lanes", 4, "sharded commit lanes (1 = classic serial commit path)")
 	health := flag.Bool("health", false, "run a drive-failure lifecycle and dump drive health, wear and repair counters")
 	frontend := flag.Bool("frontend", false, "serve the array over loopback TCP, drive pipelined + adversarial initiators, dump wire-health counters")
+	haTour := flag.Bool("ha", false, "tour end-to-end HA: two servers, heartbeat failover mid-workload, chaos-injected HA initiator, session/drain telemetry")
 	flag.Parse()
 
 	if *frontend {
 		inspectFrontend(*drives)
+		return
+	}
+	if *haTour {
+		inspectHA(*drives)
 		return
 	}
 

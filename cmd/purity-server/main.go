@@ -7,6 +7,11 @@
 //
 //	purity-server [-primary :7005] [-secondary :7006] [-drives 11] [-drive-mib 256]
 //	              [-workers 4] [-queue-depth 64] [-tenant-window 32] [-inflight-mib 64]
+//	              [-heartbeat 250ms] [-silence 2s]
+//
+// The primary's server publishes a heartbeat; the secondary's monitor takes
+// over (recovery from the shared shelf, then fencing) after -silence of
+// quiet. Clients using the HA initiator follow the failover transparently.
 package main
 
 import (
@@ -14,6 +19,7 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"time"
 
 	"purity/internal/controller"
 	"purity/internal/core"
@@ -33,6 +39,8 @@ func main() {
 	tenantWindow := flag.Int("tenant-window", 32, "per-volume in-flight request window per connection")
 	inflightMiB := flag.Int64("inflight-mib", 64, "global in-flight payload byte budget, MiB")
 	pace := flag.Bool("pace", false, "pace responses to the device model's simulated service time")
+	heartbeat := flag.Duration("heartbeat", 250*time.Millisecond, "primary heartbeat interval")
+	silence := flag.Duration("silence", 2*time.Second, "heartbeat silence before the secondary takes over")
 	flag.Parse()
 
 	cfg := core.DefaultConfig()
@@ -58,21 +66,28 @@ func main() {
 	fmt.Printf("purity-server: front end workers=%d queue=%d tenant-window=%d inflight=%d MiB\n",
 		*workers, *queueDepth, *tenantWindow, *inflightMiB)
 
-	serve := func(addr string, via controller.Role, label string) net.Listener {
+	serve := func(addr string, via controller.Role, label string) *server.Server {
 		l, err := net.Listen("tcp", addr)
 		if err != nil {
 			log.Fatalf("listen %s: %v", addr, err)
 		}
 		fmt.Printf("purity-server: %s controller on %s\n", label, l.Addr())
+		s := server.NewWithConfig(pair, via, srvCfg)
 		go func() {
-			if err := server.NewWithConfig(pair, via, srvCfg).Serve(l); err != nil {
+			if err := s.Serve(l); err != nil {
 				log.Printf("%s server: %v", label, err)
 			}
 		}()
-		return l
+		return s
 	}
-	serve(*primaryAddr, controller.Primary, "primary")
-	l2 := serve(*secondaryAddr, controller.Secondary, "secondary")
-	_ = l2
+	prim := serve(*primaryAddr, controller.Primary, "primary")
+	sec := serve(*secondaryAddr, controller.Secondary, "secondary")
+
+	ha := server.HAConfig{Interval: *heartbeat, Silence: *silence}
+	stopBeat := prim.StartBeat(ha)
+	defer stopBeat()
+	stopMon := sec.StartMonitor(ha)
+	defer stopMon()
+	fmt.Printf("purity-server: heartbeat %v, takeover after %v of silence\n", *heartbeat, *silence)
 	select {} // serve forever
 }

@@ -78,7 +78,8 @@ func main() {
 		fmt.Println("well inside the 30 s client I/O timeout — applications never noticed")
 	}
 
-	got, _, err = pair.ReadAt(done, controller.Primary, vol, 1<<20, 64<<10)
+	// The dead primary's role is now fenced; the survivor serves the array.
+	got, _, err = pair.ReadAt(done, pair.Active(), vol, 1<<20, 64<<10)
 	if err != nil {
 		log.Fatal(err)
 	}

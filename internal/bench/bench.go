@@ -56,6 +56,7 @@ func Experiments() []Experiment {
 		{"E12", "§4.2/§5.1: drive-failure lifecycle — corruption, scrub, online rebuild", runE12},
 		{"E13", "§3.2: sharded commit lanes — measured multi-core write scaling", runE13},
 		{"E14", "§4.4: pipelined tagged front end — queue depth scaling and tail latency", runE14},
+		{"E15", "§4.3: end-to-end failover — kill the primary mid-workload under chaos", runE15},
 		{"A1", "Ablations: sampling, compression, stagger, RS geometry", runA1},
 		{"CS", "§4.3: crash-consistency sweep over every fault point", runCS},
 	}

@@ -9,8 +9,8 @@ import (
 // TestExperimentRegistry ensures the index is complete and addressable.
 func TestExperimentRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 19 {
-		t.Fatalf("experiment count = %d, want 19", len(exps))
+	if len(exps) != 20 {
+		t.Fatalf("experiment count = %d, want 20", len(exps))
 	}
 	seen := map[string]bool{}
 	for _, e := range exps {

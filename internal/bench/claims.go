@@ -331,8 +331,9 @@ func runE7(o Options) error {
 	if rep.Total > 30*sim.Second {
 		fmt.Fprintf(w, "  *** OVER BUDGET ***\n")
 	}
-	// Post-failover service check.
-	if _, _, err := pair.ReadAt(done, controller.Primary, vol, 0, 32<<10); err != nil {
+	// Post-failover service check via the survivor: the dead primary's role
+	// is fenced, so ownership has moved to the secondary.
+	if _, _, err := pair.ReadAt(done, pair.Active(), vol, 0, 32<<10); err != nil {
 		return err
 	}
 	fmt.Fprintf(w, "\nPaper shape: the frontier set turned a 12 s scan into 0.1 s, keeping failover\n")

@@ -17,10 +17,16 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"os"
 	"sync"
+	"time"
 
 	"purity/internal/wire"
 )
+
+// DialFunc opens the transport for a connection. net.Dial is the default;
+// the chaos injector's Dial plugs in here to put faults on the path.
+type DialFunc func(network, addr string) (net.Conn, error)
 
 // Client is a connection to one controller port. Methods are safe for
 // concurrent use (legacy mode serializes requests; pipelined mode
@@ -33,6 +39,8 @@ type Client struct {
 
 	// Pipelined (v2) mode.
 	pipelined bool
+	session   uint64 // replay session negotiated at hello (0 = none)
+	timeout   time.Duration
 	wmu       sync.Mutex // serializes request frame writes
 	pmu       sync.Mutex // guards pending, nextTag, readErr
 	pending   map[uint32]chan taggedResp
@@ -54,10 +62,28 @@ func Dial(addr string) (*Client, error) {
 	return &Client{conn: conn}, nil
 }
 
+// helloTimeout bounds the negotiation exchange when the caller gives no
+// tighter bound: without one, a connection that eats the hello response
+// hangs the dial forever.
+const helloTimeout = 10 * time.Second
+
 // DialPipelined connects and negotiates the tagged v2 protocol. If the
 // server only speaks v1 the client transparently stays in legacy mode.
 func DialPipelined(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	return dialPipelined(addr, net.Dial, 0, false, 0)
+}
+
+// DialSession connects pipelined AND negotiates a replay session: session 0
+// asks the array to open a fresh one, a nonzero ID resumes an existing
+// session (after a reconnect, possibly to the peer controller's port). The
+// granted ID is available via Session. timeout bounds the negotiation
+// (default 10 s when 0).
+func DialSession(addr string, dial DialFunc, session uint64, timeout time.Duration) (*Client, error) {
+	return dialPipelined(addr, dial, session, true, timeout)
+}
+
+func dialPipelined(addr string, dial DialFunc, session uint64, wantSession bool, timeout time.Duration) (*Client, error) {
+	conn, err := dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
@@ -66,8 +92,12 @@ func DialPipelined(addr string) (*Client, error) {
 		conn.Close()
 		return nil, err
 	}
-	var e wire.Enc
-	if err := wire.WriteFrame(conn, wire.OpHello, e.U64(wire.ProtoTagged).B); err != nil {
+	if timeout <= 0 {
+		timeout = helloTimeout
+	}
+	//lint:ignore errdrop a conn that can't set deadlines fails the hello exchange below
+	conn.SetDeadline(time.Now().Add(timeout))
+	if err := wire.WriteFrame(conn, wire.OpHello, wire.EncodeHello(wire.ProtoTagged, session, wantSession)); err != nil {
 		return fail(err)
 	}
 	respOp, resp, err := wire.ReadFrame(conn)
@@ -81,13 +111,17 @@ func DialPipelined(addr string) (*Client, error) {
 	if err != nil {
 		return fail(err)
 	}
-	d := wire.Dec{B: body}
-	accepted := d.U64()
-	if !d.OK() {
-		return fail(d.Err)
+	h, err := wire.DecodeHello(body)
+	if err != nil {
+		return fail(err)
 	}
-	c := &Client{conn: conn}
-	if accepted >= wire.ProtoTagged {
+	if wantSession && !h.HasSession {
+		return fail(errors.New("client: server did not grant a replay session"))
+	}
+	//lint:ignore errdrop clearing the hello deadline is best-effort; per-op deadlines take over from here
+	conn.SetDeadline(time.Time{})
+	c := &Client{conn: conn, session: h.Session}
+	if h.Version >= wire.ProtoTagged {
 		c.pipelined = true
 		c.pending = make(map[uint32]chan taggedResp)
 		go c.readLoop()
@@ -97,6 +131,16 @@ func DialPipelined(addr string) (*Client, error) {
 
 // Pipelined reports whether the connection negotiated the tagged protocol.
 func (c *Client) Pipelined() bool { return c.pipelined }
+
+// Session returns the replay session ID granted at hello (0 if none).
+func (c *Client) Session() uint64 { return c.session }
+
+// SetOpTimeout bounds each call. A call that exceeds it fails with an error
+// wrapping os.ErrDeadlineExceeded and the connection is condemned — after a
+// timeout the request/response stream can no longer be trusted, so the
+// whole connection resets (the iSCSI session-reset analogue). Set before
+// sharing the client across goroutines.
+func (c *Client) SetOpTimeout(d time.Duration) { c.timeout = d }
 
 // Close closes the connection. In pipelined mode any in-flight calls fail.
 func (c *Client) Close() error { return c.conn.Close() }
@@ -168,7 +212,27 @@ func (c *Client) call(op byte, payload []byte) ([]byte, error) {
 		c.pmu.Unlock()
 		return nil, err
 	}
-	r, ok := <-ch
+	var deadline <-chan time.Time
+	if c.timeout > 0 {
+		t := time.NewTimer(c.timeout)
+		defer t.Stop()
+		deadline = t.C
+	}
+	var r taggedResp
+	var ok bool
+	select {
+	case r, ok = <-ch:
+	case <-deadline:
+		// The op may or may not have been applied (an ambiguous failure);
+		// the tag can no longer be trusted to come back, so the connection
+		// resets. An HA caller reconnects and replays idempotently.
+		c.pmu.Lock()
+		delete(c.pending, tag)
+		c.pmu.Unlock()
+		//lint:ignore errdrop the timeout is the root cause; this close is the condemnation, best-effort
+		c.conn.Close()
+		return nil, fmt.Errorf("client: op timed out after %v (tag %d): %w", c.timeout, tag, os.ErrDeadlineExceeded)
+	}
 	if !ok {
 		c.pmu.Lock()
 		err := c.readErr
@@ -188,6 +252,10 @@ func (c *Client) call(op byte, payload []byte) ([]byte, error) {
 func (c *Client) callSync(op byte, payload []byte) ([]byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.timeout > 0 {
+		//lint:ignore errdrop a conn that can't set deadlines fails the write below
+		c.conn.SetDeadline(time.Now().Add(c.timeout))
+	}
 	if err := wire.WriteFrame(c.conn, op, payload); err != nil {
 		return nil, err
 	}
@@ -269,6 +337,16 @@ func (c *Client) ReadAt(vol uint64, off int64, n int) ([]byte, error) {
 func (c *Client) WriteAt(vol uint64, off int64, data []byte) error {
 	var e wire.Enc
 	_, err := c.call(wire.OpWrite, e.U64(vol).U64(uint64(off)).Bytes(data).B)
+	return err
+}
+
+// WriteIdem writes data carrying a session-scoped idempotency sequence
+// number: resending the same seq after an ambiguous failure returns the
+// recorded outcome instead of applying twice. Requires a session
+// (DialSession); the server rejects it otherwise.
+func (c *Client) WriteIdem(seq, vol uint64, off int64, data []byte) error {
+	var e wire.Enc
+	_, err := c.call(wire.OpWriteIdem, e.U64(seq).U64(vol).U64(uint64(off)).Bytes(data).B)
 	return err
 }
 

@@ -1,0 +1,338 @@
+// HA initiator: the transparent-retry side of controller failover. An
+// HAClient holds one live pipelined connection to whichever controller port
+// currently answers, and survives everything the chaos injector (and a real
+// failover) throws at it:
+//
+//   - transport errors and per-op deadline hits condemn the connection and
+//     reconnect with capped exponential backoff plus jitter;
+//   - CodeNotPrimary redirects rotate to the peer controller's address;
+//   - CodeRetryable (mid-failover, draining) backs off and retries;
+//   - writes carry session-scoped idempotency sequence numbers, so a replay
+//     after an ambiguous failure (connection died between request and ack)
+//     returns the recorded outcome instead of applying twice.
+//
+// The session rides the controller Pair, not a single server, which is why
+// a reconnect to the surviving controller still resumes it.
+package client
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"purity/internal/sim"
+	"purity/internal/telemetry"
+	"purity/internal/wire"
+)
+
+// HAConfig tunes the HA initiator.
+type HAConfig struct {
+	// Addrs are the controller ports, in preference order; redirects and
+	// connect failures rotate through them.
+	Addrs []string
+	// Dial opens transports (default net.Dial; chaos.Injector.Dial fits).
+	Dial DialFunc
+	// OpTimeout is the per-op deadline (default 2 s). A hit condemns the
+	// connection and replays the op on a fresh one.
+	OpTimeout time.Duration
+	// MaxAttempts bounds tries per op before giving up (default 64) — with
+	// backoff this comfortably covers a full failover episode.
+	MaxAttempts int
+	// BackoffBase/BackoffCap shape the retry backoff (default 5 ms / 500 ms).
+	BackoffBase time.Duration
+	BackoffCap  time.Duration
+	// Seed feeds the jitter stream (deterministic, like the chaos injector).
+	Seed uint64
+}
+
+func (c HAConfig) normalize() HAConfig {
+	if c.Dial == nil {
+		c.Dial = net.Dial
+	}
+	if c.OpTimeout <= 0 {
+		c.OpTimeout = 2 * time.Second
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 64
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 5 * time.Millisecond
+	}
+	if c.BackoffCap <= 0 {
+		c.BackoffCap = 500 * time.Millisecond
+	}
+	return c
+}
+
+// HAStats counts the resilience machinery's activations.
+type HAStats struct {
+	Connects       telemetry.Counter // connections established (first + re)
+	Redirects      telemetry.Counter // CodeNotPrimary answers that rotated ports
+	Retries        telemetry.Counter // op attempts beyond the first
+	Replays        telemetry.Counter // idempotent writes resent with their original seq
+	DeadlineAborts telemetry.Counter // ops abandoned by the per-op deadline
+}
+
+// Summary renders the counters on one line.
+func (s *HAStats) Summary() string {
+	return fmt.Sprintf("connects=%d redirects=%d retries=%d replays=%d deadline aborts=%d",
+		s.Connects.Load(), s.Redirects.Load(), s.Retries.Load(),
+		s.Replays.Load(), s.DeadlineAborts.Load())
+}
+
+// ErrHAClosed fails ops issued after Close.
+var ErrHAClosed = errors.New("client: HA client closed")
+
+// HAClient is a failover-transparent initiator. Safe for concurrent use;
+// in-flight depth is simply how many goroutines call it at once (keep that
+// below the server's session window, see controller.DefaultSessionWindow).
+type HAClient struct {
+	cfg   HAConfig
+	seq   atomic.Uint64 // idempotency sequence numbers, one per logical write
+	stats HAStats
+
+	mu      sync.Mutex
+	c       *Client // live connection, nil while down
+	addrIdx int
+	session uint64
+	rng     *sim.Rand
+	closed  bool
+}
+
+// NewHA returns an HA initiator over the given controller addresses. The
+// first connection is made lazily, so constructing one while the array is
+// mid-failover is fine.
+func NewHA(cfg HAConfig) (*HAClient, error) {
+	if len(cfg.Addrs) == 0 {
+		return nil, errors.New("client: HAConfig.Addrs is empty")
+	}
+	cfg = cfg.normalize()
+	return &HAClient{cfg: cfg, rng: sim.NewRand(cfg.Seed + 1)}, nil
+}
+
+// Stats exposes the resilience counters.
+func (h *HAClient) Stats() *HAStats { return &h.stats }
+
+// Session returns the replay session ID (0 until the first connection).
+func (h *HAClient) Session() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.session
+}
+
+// Close condemns the current connection and fails all future ops.
+func (h *HAClient) Close() error {
+	h.mu.Lock()
+	c := h.c
+	h.c = nil
+	h.closed = true
+	h.mu.Unlock()
+	if c != nil {
+		return c.Close()
+	}
+	return nil
+}
+
+// conn returns the live connection, dialing (and resuming the session) if
+// necessary. A connect failure rotates to the next address so the retry
+// lands on the peer port.
+func (h *HAClient) conn() (*Client, error) {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return nil, ErrHAClosed
+	}
+	if h.c != nil {
+		c := h.c
+		h.mu.Unlock()
+		return c, nil
+	}
+	addr := h.cfg.Addrs[h.addrIdx%len(h.cfg.Addrs)]
+	session := h.session
+	h.mu.Unlock()
+
+	// Dial outside the lock: a slow (or blackholed) handshake must not wedge
+	// Close and concurrent ops. The hello exchange is bounded by OpTimeout.
+	c, err := DialSession(addr, h.cfg.Dial, session, h.cfg.OpTimeout)
+
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if err != nil {
+		h.addrIdx++
+		return nil, err
+	}
+	if h.closed {
+		//lint:ignore errdrop closing a connection that lost the race with Close; ErrHAClosed is the answer
+		c.Close()
+		return nil, ErrHAClosed
+	}
+	if h.c != nil {
+		// A concurrent op already reconnected; use the winner.
+		//lint:ignore errdrop redundant connection from a lost dial race
+		c.Close()
+		return h.c, nil
+	}
+	c.SetOpTimeout(h.cfg.OpTimeout)
+	h.session = c.Session()
+	h.c = c
+	h.stats.Connects.Inc()
+	return c, nil
+}
+
+// condemn drops a connection that failed (only if it is still the current
+// one — a concurrent op may already have reconnected). rotate additionally
+// moves to the next address, for NotPrimary redirects.
+func (h *HAClient) condemn(c *Client, rotate bool) {
+	h.mu.Lock()
+	if h.c == c {
+		h.c = nil
+	}
+	if rotate {
+		h.addrIdx++
+	}
+	h.mu.Unlock()
+	//lint:ignore errdrop the op failure that triggered condemnation is the error that matters; close is best-effort
+	c.Close()
+}
+
+// backoff sleeps the capped-exponential, jittered retry delay and returns
+// the next delay.
+func (h *HAClient) backoff(cur time.Duration) time.Duration {
+	next := cur * 2
+	if cur == 0 {
+		next = h.cfg.BackoffBase
+	}
+	if next > h.cfg.BackoffCap {
+		next = h.cfg.BackoffCap
+	}
+	h.mu.Lock()
+	jitter := time.Duration(h.rng.Int63n(int64(next)/2 + 1))
+	h.mu.Unlock()
+	time.Sleep(next/2 + jitter)
+	return next
+}
+
+// do runs one logical op through the retry machinery. f runs against the
+// current connection; replay reports whether a retry means the request may
+// execute a second time (true only for ops that are idempotent by
+// construction — reads, or writes carrying a seq).
+func (h *HAClient) do(replayable bool, f func(*Client) error) error {
+	var delay time.Duration
+	var lastErr error
+	for attempt := 0; attempt < h.cfg.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			h.stats.Retries.Inc()
+			delay = h.backoff(delay)
+		}
+		c, err := h.conn()
+		if err != nil {
+			if errors.Is(err, ErrHAClosed) {
+				return err
+			}
+			if errors.Is(err, os.ErrDeadlineExceeded) {
+				// A blackholed handshake counts as a deadline abort too.
+				h.stats.DeadlineAborts.Inc()
+			}
+			lastErr = err
+			continue
+		}
+		err = f(c)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		var re *wire.RemoteError
+		if errors.As(err, &re) {
+			switch re.Code {
+			case wire.CodeNotPrimary:
+				// This controller is fenced: re-resolve to the survivor.
+				h.stats.Redirects.Inc()
+				h.condemn(c, true)
+			case wire.CodeRetryable:
+				// Mid-failover or draining: the op was not applied. Keep the
+				// connection, back off, retry.
+			default:
+				// A definitive server answer (bad volume, too large, ...).
+				return err
+			}
+			continue
+		}
+		// Transport failure or deadline: ambiguous — the op may or may not
+		// have been applied. Only replayable ops may go around again.
+		if errors.Is(err, os.ErrDeadlineExceeded) {
+			h.stats.DeadlineAborts.Inc()
+		}
+		h.condemn(c, false)
+		if !replayable {
+			return fmt.Errorf("client: ambiguous failure on non-replayable op: %w", err)
+		}
+	}
+	return fmt.Errorf("client: gave up after %d attempts: %w", h.cfg.MaxAttempts, lastErr)
+}
+
+// WriteAt writes through the idempotent-replay path: the op gets a session
+// sequence number once, and every retry resends the SAME seq, so the array
+// applies it at most once no matter how many times the wire eats the ack.
+func (h *HAClient) WriteAt(vol uint64, off int64, data []byte) error {
+	seq := h.seq.Add(1)
+	first := true
+	return h.do(true, func(c *Client) error {
+		if !first {
+			h.stats.Replays.Inc()
+		}
+		first = false
+		return c.WriteIdem(seq, vol, off, data)
+	})
+}
+
+// ReadAt reads; naturally idempotent, so retries are unrestricted.
+func (h *HAClient) ReadAt(vol uint64, off int64, n int) ([]byte, error) {
+	var out []byte
+	err := h.do(true, func(c *Client) error {
+		var e error
+		out, e = c.ReadAt(vol, off, n)
+		return e
+	})
+	return out, err
+}
+
+// CreateVolume provisions a volume. Control ops retry on clean rejections
+// (NotPrimary/Retryable, where the op was not applied) but surface
+// ambiguous transport failures to the caller rather than risk re-running a
+// non-idempotent op.
+func (h *HAClient) CreateVolume(name string, sizeBytes int64) (uint64, error) {
+	var id uint64
+	err := h.do(false, func(c *Client) error {
+		var e error
+		id, e = c.CreateVolume(name, sizeBytes)
+		return e
+	})
+	return id, err
+}
+
+// OpenVolume resolves a volume name to (id, size).
+func (h *HAClient) OpenVolume(name string) (uint64, int64, error) {
+	var id uint64
+	var size int64
+	err := h.do(true, func(c *Client) error {
+		var e error
+		id, size, e = c.OpenVolume(name)
+		return e
+	})
+	return id, size, err
+}
+
+// Stats returns the current server's formatted statistics.
+func (h *HAClient) ServerStats() (string, error) {
+	var text string
+	err := h.do(true, func(c *Client) error {
+		var e error
+		text, e = c.Stats()
+		return e
+	})
+	return text, err
+}

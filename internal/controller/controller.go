@@ -15,6 +15,7 @@ package controller
 import (
 	"errors"
 	"sync"
+	"time"
 
 	"purity/internal/core"
 	"purity/internal/shelf"
@@ -53,8 +54,16 @@ func DefaultConfig() Config {
 }
 
 // ErrUnavailable is returned while no controller holds the array (between
-// primary death and failover completion).
+// primary death and failover completion). It is retryable: the op was not
+// applied, and the survivor will serve it once failover completes.
 var ErrUnavailable = errors.New("controller: array unavailable during failover")
+
+// ErrNotActive fences a demoted controller: after a failover moves
+// ownership away from a role, requests arriving via that role are refused
+// outright (never forwarded), so a half-dead former primary can't serve
+// stale state. The wire layer maps this to CodeNotPrimary and clients
+// re-resolve to the survivor.
+var ErrNotActive = errors.New("controller: not the active controller (failed over)")
 
 // Pair is the two-controller array frontend. Safe for concurrent use: the
 // server dispatches every client connection on its own goroutine, so the
@@ -69,8 +78,17 @@ type Pair struct {
 	mu           sync.RWMutex
 	array        *core.Array // live engine, owned by the current primary
 	primaryAlive bool
+	active       Role    // which role currently owns the array
+	fenced       [2]bool // roles demoted by a failover; requests refused
 	warmList     []core.WarmKey
 	failovers    int
+
+	// Wall-clock heartbeat state, written by the active server's beater and
+	// read by the peer's failover monitor (see server.StartBeat/StartMonitor).
+	hbMu     sync.Mutex
+	lastBeat [2]time.Time
+
+	sessions *Sessions
 }
 
 // NewPair formats a fresh array and brings up both controllers.
@@ -79,13 +97,50 @@ func NewPair(cfg Config, arrayCfg core.Config) (*Pair, error) {
 	if err != nil {
 		return nil, err
 	}
+	now := time.Now()
 	return &Pair{
 		cfg:          cfg,
 		arrayCfg:     arrayCfg,
 		shelf:        a.Shelf(),
 		array:        a,
 		primaryAlive: true,
+		active:       Primary,
+		lastBeat:     [2]time.Time{now, now},
+		sessions:     NewSessions(0),
 	}, nil
+}
+
+// Sessions exposes the array-wide client session table. It is shared by
+// both controllers' servers and survives failover — the simulation stand-in
+// for session state riding the dual-ported NVRAM.
+func (p *Pair) Sessions() *Sessions { return p.sessions }
+
+// Active reports which role currently owns the array.
+func (p *Pair) Active() Role {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.active
+}
+
+// Fenced reports whether a role has been demoted by a failover.
+func (p *Pair) Fenced(via Role) bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.fenced[via]
+}
+
+// Beat records a wall-clock heartbeat from a controller's server.
+func (p *Pair) Beat(via Role) {
+	p.hbMu.Lock()
+	p.lastBeat[via] = time.Now()
+	p.hbMu.Unlock()
+}
+
+// SinceBeat reports the wall-clock time since a controller last beat.
+func (p *Pair) SinceBeat(via Role) time.Duration {
+	p.hbMu.Lock()
+	defer p.hbMu.Unlock()
+	return time.Since(p.lastBeat[via])
 }
 
 // Array exposes the live engine (nil while failed over but not recovered).
@@ -98,6 +153,14 @@ func (p *Pair) Array() *core.Array {
 	return p.array
 }
 
+// Engine resolves the live engine for a request arriving via a role,
+// honouring fencing — the server's dispatch view (Array is the
+// maintenance/experiment view and ignores fencing).
+func (p *Pair) Engine(via Role) (*core.Array, error) {
+	a, _, err := p.live(via)
+	return a, err
+}
+
 // Failovers reports how many failovers have completed.
 func (p *Pair) Failovers() int {
 	p.mu.RLock()
@@ -106,51 +169,58 @@ func (p *Pair) Failovers() int {
 }
 
 // forwardCost returns the latency tax of the chosen entry point: requests
-// through the secondary cross the interconnect twice (§4.1; as a side
-// effect, latencies improve slightly when the secondary fails).
-func (p *Pair) forwardCost(via Role) sim.Time {
-	if via == Secondary {
+// through the non-active controller cross the interconnect twice (§4.1; as
+// a side effect, latencies improve slightly when the secondary fails).
+// Caller holds mu (read side suffices).
+func (p *Pair) forwardCostLocked(via Role) sim.Time {
+	if via != p.active {
 		return 2 * p.cfg.InterconnectHop
 	}
 	return 0
 }
 
-func (p *Pair) live() (*core.Array, error) {
+// live resolves the engine for a request arriving via a role: fenced roles
+// are refused (ErrNotActive), a dead engine is ErrUnavailable, and the
+// forwarding cost for the chosen entry point rides along.
+func (p *Pair) live(via Role) (*core.Array, sim.Time, error) {
 	p.mu.RLock()
 	defer p.mu.RUnlock()
-	if !p.primaryAlive || p.array == nil {
-		return nil, ErrUnavailable
+	if p.fenced[via] {
+		return nil, 0, ErrNotActive
 	}
-	return p.array, nil
+	if !p.primaryAlive || p.array == nil {
+		return nil, 0, ErrUnavailable
+	}
+	return p.array, p.forwardCostLocked(via), nil
 }
 
 // WriteAt serves a client write arriving at the given controller. Many
 // connection goroutines call this at once; the engine's concurrent write
 // path keeps the CPU stages parallel.
 func (p *Pair) WriteAt(at sim.Time, via Role, vol core.VolumeID, off int64, data []byte) (sim.Time, error) {
-	a, err := p.live()
+	a, fwd, err := p.live(via)
 	if err != nil {
 		return at, err
 	}
-	done, err := a.WriteAtConcurrent(at+p.forwardCost(via)/2, vol, off, data)
-	return done + p.forwardCost(via)/2, err
+	done, err := a.WriteAtConcurrent(at+fwd/2, vol, off, data)
+	return done + fwd/2, err
 }
 
 // ReadAt serves a client read arriving at the given controller.
 func (p *Pair) ReadAt(at sim.Time, via Role, vol core.VolumeID, off int64, n int) ([]byte, sim.Time, error) {
-	a, err := p.live()
+	a, fwd, err := p.live(via)
 	if err != nil {
 		return nil, at, err
 	}
-	data, done, err := a.ReadAt(at+p.forwardCost(via)/2, vol, off, n)
-	return data, done + p.forwardCost(via)/2, err
+	data, done, err := a.ReadAt(at+fwd/2, vol, off, n)
+	return data, done + fwd/2, err
 }
 
 // WarmSecondary ships the primary's hot-cache index to the secondary. The
 // paper does this continuously in the background; experiments call it at
 // convenient points.
 func (p *Pair) WarmSecondary() int {
-	a, err := p.live()
+	a, _, err := p.live(p.Active())
 	if err != nil {
 		return 0
 	}
@@ -183,6 +253,15 @@ type FailoverReport struct {
 // recovery from the shared shelf. It returns the client-visible
 // unavailability, which the paper keeps well under the 30 s I/O timeout.
 func (p *Pair) Failover(at sim.Time) (FailoverReport, sim.Time, error) {
+	return p.FailoverTo(Secondary, at)
+}
+
+// FailoverTo runs a takeover by the named surviving role: detection
+// timeout, engine recovery from the shared shelf, then ownership transfer —
+// the survivor becomes active and the dead role is fenced, so a half-dead
+// former primary that limps back answers ErrNotActive instead of serving
+// stale state.
+func (p *Pair) FailoverTo(to Role, at sim.Time) (FailoverReport, sim.Time, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.primaryAlive {
@@ -200,6 +279,10 @@ func (p *Pair) Failover(at sim.Time) (FailoverReport, sim.Time, error) {
 
 	p.array = a
 	p.primaryAlive = true
+	for r := range p.fenced {
+		p.fenced[r] = Role(r) != to
+	}
+	p.active = to
 	p.failovers++
 
 	if p.cfg.WarmCache && len(p.warmList) > 0 {

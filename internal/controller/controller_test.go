@@ -3,6 +3,7 @@ package controller
 import (
 	"bytes"
 	"testing"
+	"time"
 
 	"purity/internal/core"
 	"purity/internal/sim"
@@ -80,7 +81,15 @@ func TestFailoverPreservesData(t *testing.T) {
 	if rep.Recovery.NVRAMRecords == 0 {
 		t.Fatal("recovery replayed nothing")
 	}
-	got, _, err := p.ReadAt(done, Primary, vol, 0, len(data))
+	// Ownership moved: the secondary is active, the dead primary is fenced.
+	if p.Active() != Secondary || !p.Fenced(Primary) || p.Fenced(Secondary) {
+		t.Fatalf("post-failover roles: active=%v fencedP=%v fencedS=%v",
+			p.Active(), p.Fenced(Primary), p.Fenced(Secondary))
+	}
+	if _, _, err := p.ReadAt(done, Primary, vol, 0, 4096); err != ErrNotActive {
+		t.Fatalf("fenced primary served a read: %v", err)
+	}
+	got, _, err := p.ReadAt(done, Secondary, vol, 0, len(data))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +129,7 @@ func TestFailoverCacheWarming(t *testing.T) {
 		t.Fatal("failover did not warm the cache")
 	}
 	// Warmed reads are cache hits: almost pure CPU time.
-	_, d, err := p.ReadAt(done, Primary, vol, 0, 32<<10)
+	_, d, err := p.ReadAt(done, Secondary, vol, 0, 32<<10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,20 +154,44 @@ func TestRepeatedFailovers(t *testing.T) {
 	data := make([]byte, 64<<10)
 	sim.NewRand(4).Bytes(data)
 	done := sim.Time(0)
+	// Ownership ping-pongs: each round the active controller dies and the
+	// other one takes over, un-fencing itself and fencing the corpse.
 	for round := 0; round < 3; round++ {
-		if done, err = p.WriteAt(done, Primary, vol, int64(round)*(64<<10), data); err != nil {
+		if done, err = p.WriteAt(done, p.Active(), vol, int64(round)*(64<<10), data); err != nil {
 			t.Fatalf("round %d write: %v", round, err)
 		}
+		survivor := Secondary
+		if p.Active() == Secondary {
+			survivor = Primary
+		}
 		p.KillPrimary()
-		if _, done, err = p.Failover(done); err != nil {
+		if _, done, err = p.FailoverTo(survivor, done); err != nil {
 			t.Fatalf("round %d failover: %v", round, err)
+		}
+		if p.Active() != survivor || p.Fenced(survivor) {
+			t.Fatalf("round %d: survivor %v not active", round, survivor)
 		}
 	}
 	for round := 0; round < 3; round++ {
-		got, d, err := p.ReadAt(done, Primary, vol, int64(round)*(64<<10), len(data))
+		got, d, err := p.ReadAt(done, p.Active(), vol, int64(round)*(64<<10), len(data))
 		if err != nil || !bytes.Equal(got, data) {
 			t.Fatalf("round %d data lost: %v", round, err)
 		}
 		done = d
+	}
+}
+
+func TestHeartbeatClock(t *testing.T) {
+	p := newPair(t)
+	p.Beat(Primary)
+	if d := p.SinceBeat(Primary); d > time.Second {
+		t.Fatalf("fresh beat reads %v old", d)
+	}
+	// The secondary's clock started at pair creation and only moves when it
+	// beats; no beat means the gap grows.
+	before := p.SinceBeat(Secondary)
+	time.Sleep(5 * time.Millisecond)
+	if after := p.SinceBeat(Secondary); after <= before {
+		t.Fatalf("silent role's beat gap did not grow: %v -> %v", before, after)
 	}
 }

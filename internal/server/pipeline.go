@@ -1,9 +1,13 @@
 package server
 
 import (
+	"errors"
 	"net"
+	"os"
 	"sync"
+	"time"
 
+	"purity/internal/controller"
 	"purity/internal/wire"
 )
 
@@ -34,10 +38,17 @@ type outFrame struct {
 type pconn struct {
 	s    *Server
 	conn net.Conn
+	sess *controller.Session // replay session from the hello (nil if none)
 
 	hi  chan *request // foreground reads
 	lo  chan *request // everything else
 	out chan outFrame
+
+	// down closes when the connection is torn down (writer failure), waking
+	// any admission wait so a dead client can't pin a tenant slot or
+	// in-flight bytes forever.
+	down     chan struct{}
+	downOnce sync.Once
 
 	// tags tracks in-flight request tags for duplicate detection. Guarded
 	// by tagMu (claimed by the reader, dropped at completion by the
@@ -52,13 +63,15 @@ type pconn struct {
 }
 
 // servePipelined runs one v2 connection to completion.
-func (s *Server) servePipelined(conn net.Conn) {
+func (s *Server) servePipelined(conn net.Conn, sess *controller.Session) {
 	c := &pconn{
 		s:       s,
 		conn:    conn,
+		sess:    sess,
 		hi:      make(chan *request, s.cfg.QueueDepth),
 		lo:      make(chan *request, s.cfg.QueueDepth),
 		out:     make(chan outFrame, s.cfg.QueueDepth),
+		down:    make(chan struct{}),
 		tags:    make(map[uint32]struct{}),
 		tenants: make(map[uint64]chan struct{}),
 	}
@@ -86,6 +99,7 @@ func (s *Server) servePipelined(conn net.Conn) {
 // here, which backpressures the TCP stream instead of queueing unboundedly.
 func (c *pconn) readLoop() {
 	for {
+		c.s.touchIdle(c.conn)
 		op, tag, payload, err := wire.ReadTaggedFrame(c.conn)
 		if err != nil {
 			c.s.countReadErr(err)
@@ -108,11 +122,28 @@ func (c *pconn) readLoop() {
 		default:
 			waited = true
 			c.s.tel.AdmissionWaits.Inc()
-			ten <- struct{}{}
+			// The wait is abortable: a connection torn down by its writer,
+			// or a server drain, must not leave this goroutine parked on a
+			// slot that will never free (the admission-slot leak).
+			select {
+			case ten <- struct{}{}:
+			case <-c.down:
+				c.abortAdmission(tag)
+				return
+			case <-c.s.drainCh:
+				c.abortAdmission(tag)
+				return
+			}
 		}
 		cost := admissionCost(op, payload)
-		if c.s.budget.acquire(cost) && !waited {
+		granted, budgetWaited := c.s.budget.acquire(cost, c.down, c.s.drainCh)
+		if budgetWaited && !waited {
 			c.s.tel.AdmissionWaits.Inc()
+		}
+		if !granted {
+			<-ten
+			c.abortAdmission(tag)
+			return
 		}
 		r := &request{op: op, tag: tag, payload: payload, release: func() {
 			<-ten
@@ -125,6 +156,14 @@ func (c *pconn) readLoop() {
 			c.lo <- r
 		}
 	}
+}
+
+// abortAdmission unwinds a partially-admitted request when the wait is cut
+// short; the un-responded request is dropped (the client's reconnect path
+// replays it).
+func (c *pconn) abortAdmission(tag uint32) {
+	c.s.tel.AdmissionAborts.Inc()
+	c.dropTag(tag)
 }
 
 // worker dispatches admitted requests. While the engine's SLO governor
@@ -181,29 +220,36 @@ func (c *pconn) run(r *request) {
 	if hook := c.s.stall; hook != nil {
 		hook(r.op, r.payload)
 	}
-	resp, err := c.s.dispatch(r.op, r.payload)
+	resp, err := c.s.dispatch(c.sess, r.op, r.payload)
 	var frame []byte
 	if err != nil {
-		frame = wire.ErrResponse(errCode(err), err.Error())
+		frame = wire.ErrResponse(c.s.respCode(err), err.Error())
 	} else {
 		frame = wire.OKResponse(resp)
 	}
 	c.out <- outFrame{op: r.op, tag: r.tag, resp: frame, release: r.release}
 }
 
-// writer is the single goroutine that writes response frames. After a write
-// failure it stops writing but keeps draining, so every release callback
-// still runs and no worker blocks on a dead connection.
+// writer is the single goroutine that writes response frames. Each write is
+// bounded by Config.WriteTimeout, so a client that stops reading cannot
+// wedge the writer via TCP backpressure. After a write failure it tears the
+// connection down but keeps draining, so every release callback still runs
+// and no worker blocks on a dead connection.
 func (c *pconn) writer(done chan struct{}) {
 	defer close(done)
 	failed := false
 	for f := range c.out {
 		if !failed {
+			if d := c.s.cfg.WriteTimeout; d > 0 {
+				//lint:ignore errdrop a conn that can't set deadlines fails the write below
+				c.conn.SetWriteDeadline(time.Now().Add(d))
+			}
 			if err := wire.WriteTaggedFrame(c.conn, f.op, f.tag, f.resp); err != nil {
 				failed = true
-				// Unblock the reader; its net.ErrClosed is not re-counted.
-				//lint:ignore errdrop the write failure is the root cause and is counted below; this close is best-effort
-				c.conn.Close()
+				if errors.Is(err, os.ErrDeadlineExceeded) {
+					c.s.tel.WriteTimeouts.Inc()
+				}
+				c.teardown()
 				c.s.tel.AbnormalDisconnects.Inc()
 			}
 		}
@@ -211,6 +257,19 @@ func (c *pconn) writer(done chan struct{}) {
 			f.release()
 		}
 	}
+}
+
+// teardown marks the connection dead and wakes everything parked on it: the
+// reader's blocking Read (via the close), the reader's admission wait (via
+// down), and any wait on the global byte budget (via the broadcast). The
+// reader's subsequent net.ErrClosed is not re-counted.
+func (c *pconn) teardown() {
+	c.downOnce.Do(func() {
+		close(c.down)
+		//lint:ignore errdrop the failure that triggered teardown is already counted; the close is best-effort
+		c.conn.Close()
+		c.s.budget.wake()
+	})
 }
 
 // claimTag records a tag as in flight; false means it already is.
@@ -249,6 +308,11 @@ func tenantOf(op byte, payload []byte) uint64 {
 	switch op {
 	case wire.OpRead, wire.OpWrite, wire.OpSnapshot, wire.OpClone, wire.OpDelete:
 		d := wire.Dec{B: payload}
+		return d.U64()
+	case wire.OpWriteIdem:
+		// The idempotency sequence number precedes the volume.
+		d := wire.Dec{B: payload}
+		d.U64() // seq
 		return d.U64()
 	}
 	return 0
@@ -293,19 +357,38 @@ func (b *byteBudget) clamp(n int64) int64 {
 	return n
 }
 
-// acquire blocks until n bytes fit and reports whether it had to wait.
-func (b *byteBudget) acquire(n int64) bool {
+// acquire blocks until n bytes fit, or until any abort channel closes (a
+// dead connection or a server drain — the waiter is woken by wake and gives
+// up instead of pinning budget it will never use). It reports whether the
+// bytes were granted and whether it had to wait.
+func (b *byteBudget) acquire(n int64, abort ...<-chan struct{}) (granted, waited bool) {
 	n = b.clamp(n)
+	aborted := func() bool {
+		for _, ch := range abort {
+			select {
+			case <-ch:
+				return true
+			default:
+			}
+		}
+		return false
+	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	waited := false
 	for b.used+n > b.cap {
+		if aborted() {
+			return false, waited
+		}
 		waited = true
 		b.cond.Wait()
 	}
 	b.used += n
-	return waited
+	return true, waited
 }
+
+// wake re-checks every parked acquire. Called when an abort channel closes,
+// since cond waiters can't select on it.
+func (b *byteBudget) wake() { b.cond.Broadcast() }
 
 // release returns n bytes to the budget.
 func (b *byteBudget) release(n int64) {

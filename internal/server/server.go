@@ -29,6 +29,8 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"os"
+	"sync"
 	"time"
 
 	"purity/internal/controller"
@@ -59,6 +61,18 @@ type Config struct {
 	// lock-step v1 protocol serializes these waits; the tagged v2 protocol
 	// overlaps them — which is the whole case for pipelining.
 	Pace bool
+	// IdleTimeout bounds how long a connection may sit between frames (and
+	// how long a torn frame may dribble). Without it a client that dies
+	// mid-frame — or simply stops sending — pins its goroutines, and with
+	// them any admission resources, forever. Negative disables; zero takes
+	// the default.
+	IdleTimeout time.Duration
+	// WriteTimeout bounds each response write. Without it a stalled client
+	// that stops reading wedges the connection's single writer goroutine via
+	// TCP backpressure, and every release callback queued behind the stuck
+	// frame — tenant-window slots and in-flight bytes — leaks until the
+	// socket dies on its own. Negative disables; zero takes the default.
+	WriteTimeout time.Duration
 }
 
 // DefaultConfig sizes the front end for the scaled-down arrays in this
@@ -69,6 +83,8 @@ func DefaultConfig() Config {
 		QueueDepth:       64,
 		TenantWindow:     32,
 		MaxInflightBytes: 64 << 20,
+		IdleTimeout:      2 * time.Minute,
+		WriteTimeout:     30 * time.Second,
 	}
 }
 
@@ -85,6 +101,12 @@ func (c Config) normalize() Config {
 	if c.MaxInflightBytes <= 0 {
 		c.MaxInflightBytes = 64 << 20
 	}
+	if c.IdleTimeout == 0 {
+		c.IdleTimeout = 2 * time.Minute
+	}
+	if c.WriteTimeout == 0 {
+		c.WriteTimeout = 30 * time.Second
+	}
 	return c
 }
 
@@ -97,6 +119,16 @@ type Server struct {
 	epoch  time.Time // wall-clock origin for the simulated timeline
 	tel    *telemetry.Frontend
 	budget *byteBudget
+
+	// Lifecycle state for graceful drain: every listener Serve is running on
+	// and every live connection, so Shutdown can stop accepts and wake
+	// parked readers. handlers counts connection goroutines.
+	mu        sync.Mutex
+	listeners map[net.Listener]struct{}
+	conns     map[net.Conn]struct{}
+	closed    bool
+	drainCh   chan struct{}
+	handlers  sync.WaitGroup
 
 	// stall, when set, runs in a worker just before dispatch — a test hook
 	// for forcing a request to be slow so out-of-order completion and
@@ -113,12 +145,15 @@ func New(pair *controller.Pair, via controller.Role) *Server {
 func NewWithConfig(pair *controller.Pair, via controller.Role, cfg Config) *Server {
 	cfg = cfg.normalize()
 	return &Server{
-		pair:   pair,
-		via:    via,
-		cfg:    cfg,
-		epoch:  time.Now(),
-		tel:    &telemetry.Frontend{},
-		budget: newByteBudget(cfg.MaxInflightBytes),
+		pair:      pair,
+		via:       via,
+		cfg:       cfg,
+		epoch:     time.Now(),
+		tel:       &telemetry.Frontend{},
+		budget:    newByteBudget(cfg.MaxInflightBytes),
+		listeners: make(map[net.Listener]struct{}),
+		conns:     make(map[net.Conn]struct{}),
+		drainCh:   make(chan struct{}),
 	}
 }
 
@@ -140,9 +175,16 @@ func (s *Server) governor() *iosched.Governor {
 
 // Serve accepts connections until the listener closes. Transient Accept
 // failures (EMFILE under connection storms, ECONNABORTED races) no longer
-// kill the listener: they retry with capped exponential backoff, and Serve
-// returns only once the listener itself is closed.
+// kill the listener: they retry with capped exponential backoff — reset to
+// zero by every successful accept, so one bad burst doesn't tax the next —
+// and Serve returns only once the listener itself is closed.
 func (s *Server) Serve(l net.Listener) error {
+	if !s.trackListener(l) {
+		//lint:ignore errdrop the server is already drained; refusing the listener is the point
+		l.Close()
+		return nil
+	}
+	defer s.untrackListener(l)
 	var backoff time.Duration
 	for {
 		conn, err := l.Accept()
@@ -160,40 +202,180 @@ func (s *Server) Serve(l net.Listener) error {
 			continue
 		}
 		backoff = 0
-		go s.handle(conn)
+		s.handlers.Add(1)
+		go func() {
+			defer s.handlers.Done()
+			s.handle(conn)
+		}()
 	}
+}
+
+// trackListener registers a listener for Shutdown; false means the server
+// has already drained and the listener must not accept.
+func (s *Server) trackListener(l net.Listener) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.listeners[l] = struct{}{}
+	return true
+}
+
+func (s *Server) untrackListener(l net.Listener) {
+	s.mu.Lock()
+	delete(s.listeners, l)
+	s.mu.Unlock()
+}
+
+// trackConn registers a live connection for Shutdown; false means the
+// server is draining and the connection must be refused.
+func (s *Server) trackConn(c net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.conns[c] = struct{}{}
+	return true
+}
+
+func (s *Server) untrackConn(c net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+}
+
+// draining reports whether Shutdown has begun.
+func (s *Server) draining() bool {
+	select {
+	case <-s.drainCh:
+		return true
+	default:
+		return false
+	}
+}
+
+// touchIdle arms the connection's idle deadline before a blocking read.
+// After Shutdown begins the deadline is already-expired, so a reader that
+// loops around for another frame exits instead of re-arming.
+func (s *Server) touchIdle(conn net.Conn) {
+	if s.draining() {
+		//lint:ignore errdrop a conn that can't set deadlines is dying anyway; the read surfaces it
+		conn.SetReadDeadline(time.Now())
+		return
+	}
+	if s.cfg.IdleTimeout > 0 {
+		//lint:ignore errdrop a conn that can't set deadlines is dying anyway; the read surfaces it
+		conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+	}
+}
+
+// touchWrite arms the connection's per-response write deadline.
+func (s *Server) touchWrite(conn net.Conn) {
+	if s.cfg.WriteTimeout > 0 {
+		//lint:ignore errdrop a conn that can't set deadlines is dying anyway; the write surfaces it
+		conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+	}
+}
+
+// Shutdown drains the server gracefully: listeners close (no new accepts),
+// every parked reader and admission wait is woken so no new requests are
+// admitted, workers finish what was already admitted, and each connection's
+// writer flushes its completions — running every release, so no admission
+// slot or in-flight byte survives the drain. Connections still alive after
+// the timeout are force-closed. Idempotent; later calls return immediately.
+func (s *Server) Shutdown(timeout time.Duration) error {
+	start := time.Now()
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	close(s.drainCh)
+	for l := range s.listeners {
+		//lint:ignore errdrop closing the listener is best-effort; Serve exits on net.ErrClosed either way
+		l.Close()
+	}
+	for c := range s.conns {
+		// Expire the read deadline: a reader blocked in ReadFrame wakes with
+		// a timeout, stops admitting, and starts the connection's drain.
+		//lint:ignore errdrop a conn that can't set deadlines is torn down by the force-close below
+		c.SetReadDeadline(time.Now())
+	}
+	s.mu.Unlock()
+	// Wake admission waits parked on the global byte budget.
+	s.budget.wake()
+
+	done := make(chan struct{})
+	go func() {
+		s.handlers.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-time.After(timeout):
+		s.mu.Lock()
+		for c := range s.conns {
+			//lint:ignore errdrop force-close after the drain deadline; nothing left to report to
+			c.Close()
+		}
+		s.mu.Unlock()
+		<-done
+		err = fmt.Errorf("server: drain exceeded %v; remaining connections force-closed", timeout)
+	}
+	s.tel.Drains.Inc()
+	s.tel.DrainNanos.Add(time.Since(start).Nanoseconds())
+	return err
 }
 
 // handle classifies a new connection by its first frame: an OpHello
 // negotiates the protocol version (and usually upgrades to the tagged
-// pipelined mode); anything else is a legacy v1 initiator and is served
-// lock-step, unchanged.
+// pipelined mode) and, for HA initiators, binds a replay session; anything
+// else is a legacy v1 initiator and is served lock-step, unchanged.
 func (s *Server) handle(conn net.Conn) {
 	defer conn.Close()
+	if !s.trackConn(conn) {
+		return
+	}
+	defer s.untrackConn(conn)
+	s.touchIdle(conn)
 	op, payload, err := wire.ReadFrame(conn)
 	if err != nil {
 		s.countReadErr(err)
 		return
 	}
 	if op == wire.OpHello {
-		d := wire.Dec{B: payload}
-		ver := d.U64()
-		if !d.OK() {
+		h, err := wire.DecodeHello(payload)
+		if err != nil {
 			s.tel.MalformedFrames.Inc()
 			return
 		}
 		accepted := wire.ProtoSync
-		if ver >= wire.ProtoTagged {
+		if h.Version >= wire.ProtoTagged {
 			accepted = wire.ProtoTagged
 		}
-		var e wire.Enc
-		if wire.RespondOK(conn, wire.OpHello, e.U64(accepted).B) != nil {
+		// Sessions ride the tagged protocol only: the session table lives on
+		// the Pair, so a session survives reconnecting to the peer port.
+		var sess *controller.Session
+		if accepted == wire.ProtoTagged && h.HasSession {
+			sess = s.pair.Sessions().Resume(h.Session)
+			s.tel.SessionsBound.Inc()
+		}
+		var sid uint64
+		if sess != nil {
+			sid = sess.ID
+		}
+		s.touchWrite(conn)
+		if wire.RespondOK(conn, wire.OpHello, wire.EncodeHello(accepted, sid, sess != nil)) != nil {
 			s.tel.AbnormalDisconnects.Inc()
 			return
 		}
 		if accepted == wire.ProtoTagged {
 			s.tel.PipelinedConns.Inc()
-			s.servePipelined(conn)
+			s.servePipelined(conn, sess)
 			return
 		}
 		s.tel.LegacyConns.Inc()
@@ -210,6 +392,7 @@ func (s *Server) serveLegacy(conn net.Conn, op byte, payload []byte, pending boo
 	for {
 		if !pending {
 			var err error
+			s.touchIdle(conn)
 			op, payload, err = wire.ReadFrame(conn)
 			if err != nil {
 				s.countReadErr(err)
@@ -217,8 +400,10 @@ func (s *Server) serveLegacy(conn net.Conn, op byte, payload []byte, pending boo
 			}
 		}
 		pending = false
-		resp, err := s.dispatch(op, payload)
+		resp, err := s.dispatch(nil, op, payload)
+		s.touchWrite(conn)
 		if err != nil {
+			s.respCode(err) // count HA refusals even though v1 carries no codes
 			if wire.RespondErr(conn, op, err) != nil {
 				s.tel.AbnormalDisconnects.Inc()
 				return
@@ -243,6 +428,12 @@ func (s *Server) countReadErr(err error) {
 		s.tel.OversizedFrames.Inc()
 	case errors.Is(err, wire.ErrBadFrame):
 		s.tel.MalformedFrames.Inc()
+	case errors.Is(err, os.ErrDeadlineExceeded):
+		// The idle deadline reaped the connection (or woke its reader for a
+		// drain, which isn't worth a counter).
+		if !s.draining() {
+			s.tel.IdleTimeouts.Inc()
+		}
 	case errors.Is(err, net.ErrClosed):
 		// We closed it (server shutdown or a writer failure already
 		// counted).
@@ -261,6 +452,10 @@ var (
 	ErrReadTooLarge = errors.New("server: read length exceeds wire.MaxReadLen")
 	// ErrUnknownOp rejects an unrecognized opcode.
 	ErrUnknownOp = errors.New("server: unknown opcode")
+	// ErrNoSession rejects an idempotent write on a connection whose hello
+	// did not negotiate a session — without one there is no replay window to
+	// give the op its at-most-once meaning.
+	ErrNoSession = errors.New("server: idempotent write outside a session")
 )
 
 // errCode maps a dispatch failure to its wire error code.
@@ -271,6 +466,12 @@ func errCode(err error) uint32 {
 		return wire.CodeTooLarge
 	case errors.Is(err, ErrUnknownOp):
 		return wire.CodeUnknownOp
+	case errors.Is(err, ErrNoSession):
+		return wire.CodeBadPayload
+	case errors.Is(err, controller.ErrNotActive):
+		return wire.CodeNotPrimary
+	case errors.Is(err, controller.ErrUnavailable):
+		return wire.CodeRetryable
 	case errors.Is(err, io.ErrUnexpectedEOF):
 		return wire.CodeBadPayload
 	case errors.As(err, &d):
@@ -278,6 +479,28 @@ func errCode(err error) uint32 {
 	default:
 		return wire.CodeInternal
 	}
+}
+
+// respCode maps a dispatch failure to its wire code and counts the
+// HA-relevant refusals on the way out.
+func (s *Server) respCode(err error) uint32 {
+	code := errCode(err)
+	switch code {
+	case wire.CodeNotPrimary:
+		s.tel.NotPrimaryRedirects.Inc()
+	case wire.CodeRetryable:
+		s.tel.RetryableRejects.Inc()
+	}
+	return code
+}
+
+// definitiveOutcome classifies a write outcome for the idempotency window:
+// fenced-controller and mid-failover refusals mean the op was NOT applied,
+// so they must not be recorded — a later replay gets to apply for real.
+// Everything else (success, or a real engine rejection) is final.
+func definitiveOutcome(err error) bool {
+	return !errors.Is(err, controller.ErrUnavailable) &&
+		!errors.Is(err, controller.ErrNotActive)
 }
 
 // pace holds the caller until a data-path op's simulated completion time has
@@ -304,12 +527,16 @@ func (s *Server) badPayload(err error) error {
 
 // dispatch runs one request against the engine. Called concurrently from
 // every connection goroutine and worker; the Pair and the engine
-// synchronize internally.
-func (s *Server) dispatch(op byte, payload []byte) ([]byte, error) {
+// synchronize internally. sess is the connection's replay session (nil on
+// legacy and session-less connections).
+func (s *Server) dispatch(sess *controller.Session, op byte, payload []byte) ([]byte, error) {
 	at := s.now()
-	a := s.pair.Array()
-	if a == nil {
-		return nil, controller.ErrUnavailable
+	// Resolve the engine through the fencing-aware view: a demoted
+	// controller answers ErrNotActive (→ CodeNotPrimary) so clients
+	// re-resolve to the survivor instead of reading stale state.
+	a, err := s.pair.Engine(s.via)
+	if err != nil {
+		return nil, err
 	}
 	d := wire.Dec{B: payload}
 	switch op {
@@ -397,6 +624,29 @@ func (s *Server) dispatch(op byte, payload []byte) ([]byte, error) {
 		}
 		s.pace(at, done)
 		return nil, nil
+
+	case wire.OpWriteIdem:
+		seq := d.U64()
+		vol := d.U64()
+		off := d.U64()
+		data := append([]byte(nil), d.Bytes()...)
+		if !d.OK() {
+			return nil, s.badPayload(d.Err)
+		}
+		if sess == nil {
+			return nil, ErrNoSession
+		}
+		// At-most-once: the session window decides whether this (seq) is a
+		// fresh op or a replay of one already applied. A replay returns the
+		// recorded outcome without touching the engine.
+		err, _ := sess.Do(seq, func() error {
+			done, werr := s.pair.WriteAt(at, s.via, core.VolumeID(vol), int64(off), data)
+			if werr == nil {
+				s.pace(at, done)
+			}
+			return werr
+		}, definitiveOutcome)
+		return nil, err
 
 	case wire.OpSnapshot:
 		vol := d.U64()

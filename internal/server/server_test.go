@@ -115,11 +115,11 @@ func TestServerRejectsGarbageOpcode(t *testing.T) {
 	_ = prim
 	pair, _ := controller.NewPair(controller.DefaultConfig(), core.TestConfig())
 	s := New(pair, controller.Primary)
-	if _, err := s.dispatch(0xff, nil); err == nil {
+	if _, err := s.dispatch(nil, 0xff, nil); err == nil {
 		t.Fatal("unknown opcode accepted")
 	}
 	// Truncated payloads error rather than panic.
-	if _, err := s.dispatch(1, []byte{1, 2}); err == nil {
+	if _, err := s.dispatch(nil, 1, []byte{1, 2}); err == nil {
 		t.Fatal("truncated payload accepted")
 	}
 }

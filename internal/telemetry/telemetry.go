@@ -10,6 +10,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"purity/internal/sim"
 )
@@ -50,8 +51,23 @@ type Frontend struct {
 	RejectedReads       Counter // OpRead lengths clamped against wire.MaxReadLen
 
 	// Admission control.
-	AdmissionWaits Counter // requests that blocked on a tenant window or the byte budget
-	AcceptRetries  Counter // transient Accept failures survived with backoff
+	AdmissionWaits  Counter // requests that blocked on a tenant window or the byte budget
+	AdmissionAborts Counter // admission waits abandoned because the connection died or the server drained
+	AcceptRetries   Counter // transient Accept failures survived with backoff
+
+	// Liveness deadlines (the admission-slot leak fix: a dead client can no
+	// longer pin a tenant slot or in-flight bytes forever).
+	IdleTimeouts  Counter // connections reaped by the idle/read deadline
+	WriteTimeouts Counter // response writes abandoned by the write deadline
+
+	// High availability.
+	SessionsBound       Counter // hellos that negotiated (opened or resumed) a session
+	NotPrimaryRedirects Counter // requests refused with CodeNotPrimary (fenced controller)
+	RetryableRejects    Counter // requests refused with CodeRetryable (failover/drain window)
+	Failovers           Counter // takeovers completed by this server's monitor
+	FailoverNanos       Counter // wall-clock ns spent in those takeovers
+	Drains              Counter // graceful shutdowns completed
+	DrainNanos          Counter // wall-clock ns spent draining
 }
 
 // Summary renders the counters on one line, in a fixed order.
@@ -59,11 +75,17 @@ func (f *Frontend) Summary() string {
 	return fmt.Sprintf(
 		"conns legacy=%d pipelined=%d; frames malformed=%d oversized=%d; "+
 			"disconnects abnormal=%d; tags duplicate=%d; reads rejected=%d; "+
-			"admission waits=%d; accept retries=%d",
+			"admission waits=%d aborts=%d; accept retries=%d; "+
+			"timeouts idle=%d write=%d; sessions=%d; "+
+			"redirects notprimary=%d retryable=%d; failovers=%d (%v); drains=%d (%v)",
 		f.LegacyConns.Load(), f.PipelinedConns.Load(),
 		f.MalformedFrames.Load(), f.OversizedFrames.Load(),
 		f.AbnormalDisconnects.Load(), f.DuplicateTags.Load(), f.RejectedReads.Load(),
-		f.AdmissionWaits.Load(), f.AcceptRetries.Load())
+		f.AdmissionWaits.Load(), f.AdmissionAborts.Load(), f.AcceptRetries.Load(),
+		f.IdleTimeouts.Load(), f.WriteTimeouts.Load(), f.SessionsBound.Load(),
+		f.NotPrimaryRedirects.Load(), f.RetryableRejects.Load(),
+		f.Failovers.Load(), time.Duration(f.FailoverNanos.Load()),
+		f.Drains.Load(), time.Duration(f.DrainNanos.Load()))
 }
 
 // Histogram records durations in logarithmic buckets (about 24 buckets per

@@ -45,7 +45,22 @@ const (
 	// connection in legacy framing with a u64 version payload; the server
 	// responds with the version it accepted and, when that is ProtoTagged,
 	// the connection switches to tagged framing for everything after.
+	//
+	// An HA initiator appends a second u64 to the hello payload: a session
+	// ID to resume (0 asks the server to open a fresh session). The server
+	// mirrors the shape — accepted version, then the session ID it bound the
+	// connection to (absent or 0 on servers without session support). Both
+	// sides treat the second field as optional, so old clients and old
+	// servers interoperate with new ones.
 	OpHello byte = 12
+	// OpWriteIdem is an idempotent write (tagged mode only): the payload
+	// carries a session-scoped sequence number ahead of the usual
+	// vol/off/data. The server records each completed (session, seq) in a
+	// bounded window; a replay of a completed seq returns the recorded
+	// outcome instead of applying the write twice. This is what lets a
+	// client resend a write after an ambiguous failure (connection died
+	// between request and response) without risking double application.
+	OpWriteIdem byte = 13
 )
 
 // Protocol versions carried in OpHello.
@@ -69,7 +84,23 @@ const (
 	CodeTooLarge     uint32 = 2 // request or requested response exceeds frame bounds
 	CodeDuplicateTag uint32 = 3 // tag already in flight on this connection
 	CodeUnknownOp    uint32 = 4 // opcode not recognized
+	// CodeNotPrimary fences a demoted controller: the request reached a
+	// server whose controller no longer owns the array (a failover moved
+	// ownership away). The op was NOT applied; the initiator should
+	// re-resolve to the surviving controller and resend there.
+	CodeNotPrimary uint32 = 5
+	// CodeRetryable is a transient server-side condition (failover in
+	// progress, drain under way): the op was NOT applied; the initiator
+	// should back off and retry, on this or another controller.
+	CodeRetryable uint32 = 6
 )
+
+// RetryableCode reports whether a structured error code describes a
+// transient condition where the request was definitively NOT applied, so an
+// initiator may safely resend it (after re-resolving for CodeNotPrimary).
+func RetryableCode(code uint32) bool {
+	return code == CodeNotPrimary || code == CodeRetryable
+}
 
 // MaxFrame bounds a frame's payload; large I/O is split by the client.
 const MaxFrame = 16 << 20
@@ -308,6 +339,45 @@ func ErrResponse(code uint32, msg string) []byte {
 	e.B = append(e.B, StatusErr)
 	e.U32(code).Str(msg)
 	return e.B
+}
+
+// Hello is a decoded OpHello payload (either direction). Session is the
+// optional second u64: for requests, the session to resume (0 = open a new
+// one); for responses, the session the server bound (0 = no session
+// support). HasSession records whether the field was present at all, so a
+// new client can tell a legacy server (8-byte hello response) from a
+// session-capable one that declined (16-byte response with Session 0).
+type Hello struct {
+	Version    uint64
+	Session    uint64
+	HasSession bool
+}
+
+// EncodeHello renders a hello payload. Legacy form (8 bytes) when
+// hasSession is false; session-bearing form (16 bytes) otherwise.
+func EncodeHello(version uint64, session uint64, hasSession bool) []byte {
+	var e Enc
+	e.U64(version)
+	if hasSession {
+		e.U64(session)
+	}
+	return e.B
+}
+
+// DecodeHello parses a hello payload of either generation. Trailing bytes
+// beyond the known fields are ignored (future extension room), matching how
+// pre-session servers already treated the payload.
+func DecodeHello(payload []byte) (Hello, error) {
+	d := Dec{B: payload}
+	h := Hello{Version: d.U64()}
+	if d.Err != nil {
+		return Hello{}, d.Err
+	}
+	if len(d.B) >= 8 {
+		h.Session = d.U64()
+		h.HasSession = d.Err == nil
+	}
+	return h, nil
 }
 
 // ParseTaggedResponse splits a tagged (v2) response into payload or a

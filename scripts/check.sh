@@ -56,4 +56,12 @@ go run ./cmd/purity-bench -experiment E13 -quick > /dev/null
 echo "== E14 smoke (pipelined vs sync queue-depth sweep over loopback TCP)"
 go run ./cmd/purity-bench -experiment E14 -quick > /dev/null
 
+echo "== HA (-race: chaos injector, session exactly-once, client reconnect/replay, server drain + failover)"
+go test -race ./internal/chaos/ ./internal/controller/
+go test -race -run 'TestHA' ./internal/client/
+go test -race -run 'TestGracefulDrain|TestWriterDeadline|TestIdleTimeout|TestAcceptBackoffResets|TestSessionIdempotentWriteOverWire|TestHeartbeatFailover' ./internal/server/
+
+echo "== E15 smoke (kill the primary mid-workload under chaos; zero loss, zero dup, gap << 30s)"
+go run ./cmd/purity-bench -experiment E15 -quick > /dev/null
+
 echo "ok: all checks passed"
