@@ -1,8 +1,13 @@
-// Command purity-lint runs the repo's invariant checker: eight rules that
+// Command purity-lint runs the repo's invariant checker: eleven rules that
 // enforce the conventions Purity's correctness argument rests on — lock
-// annotations and path-sensitive lock states, no decoding of unverified
-// flash bytes, allocator-only seqnos, immutable facts, crash-sweep
-// coverage of durable writes, no dropped errors, no debug prints. See
+// annotations and path-sensitive lock states (backed by checked callee
+// summaries), no decoding of unverified flash bytes, allocator-only
+// seqnos, immutable facts, crash-sweep coverage of durable writes, no
+// dropped errors, no debug prints, plus the interprocedural
+// concurrency-lifetime rules for the HA front end: connguard (every conn
+// read/write dominated by a deadline on all paths, across calls),
+// releasepair (admission slots released exactly once on every path), and
+// goroutinelife (no goroutine spawns a provably unexitable loop). See
 // internal/lint and the "Machine-checked invariants" section of DESIGN.md.
 //
 // Usage:
@@ -10,6 +15,9 @@
 //	go run ./cmd/purity-lint ./...
 //	go run ./cmd/purity-lint -rules lockflow,taintverify ./internal/core
 //	go run ./cmd/purity-lint -json ./... > findings.json
+//
+// -rules runs a named subset, which CI uses to split the fast
+// intra-procedural rules from the summary-based pass.
 //
 // Exit status 0 when clean, 1 when any diagnostic survives suppression,
 // 2 on load or usage errors.

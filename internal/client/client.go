@@ -150,6 +150,10 @@ func (c *Client) Close() error { return c.conn.Close() }
 // longer be trusted, so the connection fails as a whole.
 func (c *Client) readLoop() {
 	for {
+		// This read blocks indefinitely by design: responses arrive whenever
+		// the server finishes, and the per-op timers in call condemn a stuck
+		// connection via c.conn.Close(), which unblocks it with an error.
+		//lint:ignore connguard per-op timers in call condemn the conn via Close, which unblocks this read
 		op, tag, payload, err := wire.ReadTaggedFrame(c.conn)
 		if err != nil {
 			c.failAll(err)
@@ -204,6 +208,10 @@ func (c *Client) call(op byte, payload []byte) ([]byte, error) {
 	c.pmu.Unlock()
 
 	c.wmu.Lock()
+	// Bound the write: a server that stops reading would otherwise wedge
+	// every caller behind wmu via TCP backpressure.
+	//lint:ignore errdrop a conn that can't set deadlines fails the write below
+	c.conn.SetWriteDeadline(time.Now().Add(c.opTimeout()))
 	err := wire.WriteTaggedFrame(c.conn, op, tag, payload)
 	c.wmu.Unlock()
 	if err != nil {
@@ -212,12 +220,10 @@ func (c *Client) call(op byte, payload []byte) ([]byte, error) {
 		c.pmu.Unlock()
 		return nil, err
 	}
-	var deadline <-chan time.Time
-	if c.timeout > 0 {
-		t := time.NewTimer(c.timeout)
-		defer t.Stop()
-		deadline = t.C
-	}
+	opT := c.opTimeout()
+	t := time.NewTimer(opT)
+	defer t.Stop()
+	deadline := t.C
 	var r taggedResp
 	var ok bool
 	select {
@@ -231,7 +237,7 @@ func (c *Client) call(op byte, payload []byte) ([]byte, error) {
 		c.pmu.Unlock()
 		//lint:ignore errdrop the timeout is the root cause; this close is the condemnation, best-effort
 		c.conn.Close()
-		return nil, fmt.Errorf("client: op timed out after %v (tag %d): %w", c.timeout, tag, os.ErrDeadlineExceeded)
+		return nil, fmt.Errorf("client: op timed out after %v (tag %d): %w", opT, tag, os.ErrDeadlineExceeded)
 	}
 	if !ok {
 		c.pmu.Lock()
@@ -248,14 +254,27 @@ func (c *Client) call(op byte, payload []byte) ([]byte, error) {
 	return wire.ParseTaggedResponse(r.payload)
 }
 
+// opTimeout returns the per-op deadline budget: the configured timeout, or
+// the initiator-style default when none was set — an exchange must never
+// be unbounded (§4.3's I/O timeout discipline).
+func (c *Client) opTimeout() time.Duration {
+	if c.timeout > 0 {
+		return c.timeout
+	}
+	return defaultOpTimeout
+}
+
+// defaultOpTimeout bounds an exchange when SetOpTimeout was never called,
+// mirroring a SCSI initiator's I/O timeout: generous enough for a loaded
+// array, finite so a dead server cannot wedge the caller forever.
+const defaultOpTimeout = 30 * time.Second
+
 // callSync is the legacy lock-step exchange.
 func (c *Client) callSync(op byte, payload []byte) ([]byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.timeout > 0 {
-		//lint:ignore errdrop a conn that can't set deadlines fails the write below
-		c.conn.SetDeadline(time.Now().Add(c.timeout))
-	}
+	//lint:ignore errdrop a conn that can't set deadlines fails the write below
+	c.conn.SetDeadline(time.Now().Add(c.opTimeout()))
 	if err := wire.WriteFrame(c.conn, op, payload); err != nil {
 		return nil, err
 	}

@@ -49,7 +49,10 @@ func (r *Reporter) Reportf(rule string, pos token.Pos, format string, args ...an
 	})
 }
 
-// DefaultRules returns the full rule set in reporting order.
+// DefaultRules returns the full rule set in reporting order. The three
+// summary-based concurrency-lifetime rules are scoped to the HA front end
+// (the packages whose goroutines hold connections and admission slots);
+// fixture loads construct them with a nil Scope to run everywhere.
 func DefaultRules() []Rule {
 	return []Rule{
 		&LockCheck{},
@@ -60,6 +63,9 @@ func DefaultRules() []Rule {
 		&CrashPointCheck{},
 		&ErrDrop{},
 		&NoDebug{},
+		&ConnGuard{Scope: []string{"internal/server", "internal/client", "internal/wire"}},
+		&ReleasePair{Scope: []string{"internal/server", "internal/controller", "internal/client"}},
+		&GoroutineLife{Scope: []string{"internal/server", "internal/controller", "internal/client", "internal/core"}},
 	}
 }
 
@@ -85,10 +91,20 @@ func Run(prog *Program, rules []Rule) []Diagnostic {
 	}
 	sup := collectSuppressions(prog, rules, rep)
 	var out []Diagnostic
+	seen := map[string]bool{}
 	for _, d := range rep.diags {
 		if sup.match(d) {
 			continue
 		}
+		// Dedup by (position, rule family): the syntactic lockcheck and the
+		// path-sensitive lockflow overlap on sites both can prove (e.g. a
+		// direct self-deadlocking call), and one report per site is enough.
+		// First writer wins — rules run in DefaultRules order.
+		key := fmt.Sprintf("%s:%d:%d:%s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, ruleFamily(d.Rule))
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
 		out = append(out, d)
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -105,6 +121,18 @@ func Run(prog *Program, rules []Rule) []Diagnostic {
 		return a.Rule < b.Rule
 	})
 	return out
+}
+
+// ruleFamily groups rules that check the same invariant from different
+// angles, for diagnostic dedup. lockcheck (syntactic, annotation-driven)
+// and lockflow (path-sensitive, summary-driven) form one family; every
+// other rule is its own family.
+func ruleFamily(rule string) string {
+	switch rule {
+	case "lockcheck", "lockflow":
+		return "lock"
+	}
+	return rule
 }
 
 // --- Suppressions -------------------------------------------------------

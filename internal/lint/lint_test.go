@@ -105,6 +105,16 @@ func TestErrDropFixture(t *testing.T) { runFixture(t, "errdrop", []Rule{&ErrDrop
 
 func TestNoDebugFixture(t *testing.T) { runFixture(t, "nodebug", []Rule{&NoDebug{}}) }
 
+// The v3 summary-based rules run with a nil Scope on fixtures, so the
+// scoping applied in DefaultRules does not hide the testdata package.
+func TestConnGuardFixture(t *testing.T) { runFixture(t, "connguard", []Rule{&ConnGuard{}}) }
+
+func TestReleasePairFixture(t *testing.T) { runFixture(t, "releasepair", []Rule{&ReleasePair{}}) }
+
+func TestGoroutineLifeFixture(t *testing.T) {
+	runFixture(t, "goroutinelife", []Rule{&GoroutineLife{}})
+}
+
 // TestIgnoreGrammar checks that a reasonless or misspelled //lint:ignore is
 // itself reported and suppresses nothing. Want comments cannot trail a
 // comment-only line, so this test asserts the diagnostics directly.

@@ -48,6 +48,8 @@ type Program struct {
 	ModPath string
 	Pkgs    []*Package // in type-check (dependency) order
 	ByPath  map[string]*Package
+
+	sums *summaries // lazily-built interprocedural summary table (summary.go)
 }
 
 // FindModuleRoot walks up from dir to the directory holding go.mod and

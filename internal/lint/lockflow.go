@@ -23,6 +23,14 @@ import (
 //     Unlock/RUnlock mode confusion on an RWMutex;
 //   - a deferred unlock that fires after the path already released the
 //     mutex — a double unlock at return;
+//   - a call into a module function whose *checked summary* (summary.go)
+//     proves it acquires the same receiver's mu, made while that mu is
+//     definitely held — self-deadlock through the call. Unlike the old
+//     annotation-driven check this trusts nothing: the callee's lock
+//     effect is computed bottom-up over the call graph (transitively, so
+//     a helper that locks two hops down is still seen), and a function
+//     whose "Caller holds mu." comment disagrees with its actual body
+//     becomes a finding instead of a blind spot;
 //   - durable I/O (nvram.Append, ssd.WriteAt, ssd.Erase) issued while a
 //     write lock is held: the latency invariant PR 1's prepare/commit
 //     split fought for. The intentional exception — the NVRAM append that
@@ -41,9 +49,13 @@ func (*LockFlow) Doc() string {
 	return "path-sensitive lock states: early-return unlock gaps, double lock/unlock, RLock/Lock confusion, durable I/O under a write lock"
 }
 
+// Prepare builds the interprocedural summary table the call-site
+// self-deadlock check consumes.
+func (lf *LockFlow) Prepare(prog *Program) { prog.summaries() }
+
 func (lf *LockFlow) Check(prog *Program, pkg *Package, rep *Reporter) {
 	for _, fb := range packageBodies(pkg) {
-		p := &lockProblem{pkg: pkg, entry: entryLockState(fb), durable: true}
+		p := &lockProblem{pkg: pkg, entry: entryLockState(fb), durable: true, sums: prog.summaries()}
 		cfg := BuildCFG(fb.body)
 		sol := Solve[lockState](cfg, p)
 		p.report = func(pos token.Pos, format string, args ...any) {
@@ -125,6 +137,9 @@ type lockProblem struct {
 	pkg     *Package
 	entry   lockState
 	durable bool
+	// sums enables the summary-based call-site self-deadlock check; nil
+	// (the syntactic lockcheck reuses this problem) disables it.
+	sums *summaries
 	// report is nil while solving; Replay sets it so each diagnostic is
 	// emitted exactly once, from the fixpoint state.
 	report func(pos token.Pos, format string, args ...any)
@@ -225,6 +240,22 @@ func (p *lockProblem) Transfer(n ast.Node, s lockState) lockState {
 				s = p.applyLockOp(s, chain, fn.Name(), call.Pos())
 			}
 			return true
+		}
+		// Summary-based self-deadlock: the callee's computed lock effect
+		// (not its comment) says it acquires its receiver's mu, and this
+		// path definitely holds that mu — write-locked here, or held by
+		// our own caller per the annotation contract.
+		if p.sums != nil {
+			if sum := p.sums.ofFunc(fn); sum != nil && sum.locksOwnMu {
+				if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+					chain := exprKey(p.pkg.pkgFset(), sel.X) + ".mu"
+					if v, tracked := s[chain]; tracked && (v.mode == lockWrite || v.mode == lockCaller) {
+						p.reportf(call.Pos(),
+							"call to %s while %s is held (at %s): the callee's summary proves it acquires %s itself — self-deadlock through the call",
+							fn.Name(), chain, p.at(v.pos), chain)
+					}
+				}
+			}
 		}
 		if p.durable {
 			for _, prim := range durablePrimitives {

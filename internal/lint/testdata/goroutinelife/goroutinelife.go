@@ -1,0 +1,84 @@
+// Package fixlife is a purity-lint fixture for the goroutinelife rule:
+// every // want comment marks a go statement that spawns a provably
+// unexitable loop, and the //lint:ignore below proves suppression works.
+// The package is loaded only by lint_test.go.
+package fixlife
+
+type pump struct {
+	done chan struct{}
+	work chan int
+}
+
+func (p *pump) beatOnce() {}
+
+// runForever is the StartBeat-without-a-done-case shape: an infinite loop
+// with no exit statement anywhere in it.
+func (p *pump) runForever() {
+	for {
+		p.beatOnce()
+	}
+}
+
+// spin hides the unexitable loop one call deeper.
+func (p *pump) spin() { p.runForever() }
+
+// StartBad spawns the unexitable loop directly.
+func (p *pump) StartBad() {
+	go p.runForever() // want "no exit statement"
+}
+
+// StartLitBad spawns it as a literal.
+func (p *pump) StartLitBad() {
+	go func() { // want "no exit statement"
+		for {
+			p.beatOnce()
+		}
+	}()
+}
+
+// StartNestedBad reaches the loop two hops down the call graph.
+func (p *pump) StartNestedBad() {
+	go p.spin() // want "no exit statement"
+}
+
+// StartGood exits when the done channel closes: clean.
+func (p *pump) StartGood() {
+	go func() {
+		for {
+			select {
+			case <-p.done:
+				return
+			case n := <-p.work:
+				_ = n
+			}
+		}
+	}()
+}
+
+// StartBounded runs a finite loop: clean.
+func (p *pump) StartBounded() {
+	go func() {
+		for i := 0; i < 8; i++ {
+			p.beatOnce()
+		}
+	}()
+}
+
+// StartBreaking exits via a conditional break: clean (the rule only flags
+// loops with no exit statement at all, never argues with exit conditions).
+func (p *pump) StartBreaking(stop func() bool) {
+	go func() {
+		for {
+			if stop() {
+				break
+			}
+			p.beatOnce()
+		}
+	}()
+}
+
+// Suppressed documents a deliberate process-lifetime goroutine.
+func (p *pump) Suppressed() {
+	//lint:ignore goroutinelife fixture: this pump is process-lifetime by design and dies with the test binary
+	go p.runForever()
+}

@@ -5,7 +5,6 @@ import (
 	"net"
 	"os"
 	"sync"
-	"time"
 
 	"purity/internal/controller"
 	"purity/internal/wire"
@@ -240,10 +239,7 @@ func (c *pconn) writer(done chan struct{}) {
 	failed := false
 	for f := range c.out {
 		if !failed {
-			if d := c.s.cfg.WriteTimeout; d > 0 {
-				//lint:ignore errdrop a conn that can't set deadlines fails the write below
-				c.conn.SetWriteDeadline(time.Now().Add(d))
-			}
+			c.s.touchWrite(c.conn)
 			if err := wire.WriteTaggedFrame(c.conn, f.op, f.tag, f.resp); err != nil {
 				failed = true
 				if errors.Is(err, os.ErrDeadlineExceeded) {

@@ -64,14 +64,16 @@ type Config struct {
 	// IdleTimeout bounds how long a connection may sit between frames (and
 	// how long a torn frame may dribble). Without it a client that dies
 	// mid-frame — or simply stops sending — pins its goroutines, and with
-	// them any admission resources, forever. Negative disables; zero takes
-	// the default.
+	// them any admission resources, forever. Negative falls back to the
+	// wedge backstop (a deadline always fires eventually); zero takes the
+	// default.
 	IdleTimeout time.Duration
 	// WriteTimeout bounds each response write. Without it a stalled client
 	// that stops reading wedges the connection's single writer goroutine via
 	// TCP backpressure, and every release callback queued behind the stuck
 	// frame — tenant-window slots and in-flight bytes — leaks until the
-	// socket dies on its own. Negative disables; zero takes the default.
+	// socket dies on its own. Negative falls back to the wedge backstop;
+	// zero takes the default.
 	WriteTimeout time.Duration
 }
 
@@ -256,27 +258,40 @@ func (s *Server) draining() bool {
 	}
 }
 
-// touchIdle arms the connection's idle deadline before a blocking read.
-// After Shutdown begins the deadline is already-expired, so a reader that
-// loops around for another frame exits instead of re-arming.
+// wedgeBackstop is the deadline used when the operator sets a timeout
+// negative ("disabled"): long enough to never fire in legitimate traffic,
+// but finite, so even a disabled timeout cannot let a dead peer pin a
+// goroutine — and the admission slots it holds — for the life of the
+// process. A deadline must exist on every path; §5's availability argument
+// does not survive "unless configured otherwise".
+const wedgeBackstop = 24 * time.Hour
+
+// touchIdle arms the connection's idle deadline before a blocking read, on
+// every path. After Shutdown begins the deadline is already-expired, so a
+// reader that loops around for another frame exits instead of re-arming.
 func (s *Server) touchIdle(conn net.Conn) {
 	if s.draining() {
 		//lint:ignore errdrop a conn that can't set deadlines is dying anyway; the read surfaces it
 		conn.SetReadDeadline(time.Now())
 		return
 	}
-	if s.cfg.IdleTimeout > 0 {
-		//lint:ignore errdrop a conn that can't set deadlines is dying anyway; the read surfaces it
-		conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+	d := s.cfg.IdleTimeout
+	if d <= 0 {
+		d = wedgeBackstop
 	}
+	//lint:ignore errdrop a conn that can't set deadlines is dying anyway; the read surfaces it
+	conn.SetReadDeadline(time.Now().Add(d))
 }
 
-// touchWrite arms the connection's per-response write deadline.
+// touchWrite arms the connection's per-response write deadline, on every
+// path.
 func (s *Server) touchWrite(conn net.Conn) {
-	if s.cfg.WriteTimeout > 0 {
-		//lint:ignore errdrop a conn that can't set deadlines is dying anyway; the write surfaces it
-		conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+	d := s.cfg.WriteTimeout
+	if d <= 0 {
+		d = wedgeBackstop
 	}
+	//lint:ignore errdrop a conn that can't set deadlines is dying anyway; the write surfaces it
+	conn.SetWriteDeadline(time.Now().Add(d))
 }
 
 // Shutdown drains the server gracefully: listeners close (no new accepts),

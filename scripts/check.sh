@@ -21,11 +21,34 @@ fi
 echo "== go vet"
 go vet ./...
 
-echo "== purity-lint (repo invariants: lockcheck lockflow taintverify seqmono factmut crashpointcheck errdrop nodebug)"
+echo "== purity-lint (repo invariants: lockcheck lockflow taintverify seqmono factmut crashpointcheck errdrop nodebug connguard releasepair goroutinelife)"
+# The full 11-rule pass (including the interprocedural summary layer) must
+# stay interactive: LINT_BUDGET seconds wall-clock, asserted below so a
+# regression in the summary fixpoint fails loudly instead of slowly.
+# LINT_FINDINGS, when set, receives the machine-readable findings (-json)
+# for CI to archive as a build artifact.
+LINT_BUDGET="${LINT_BUDGET:-60}"
 lintdir=$(mktemp -d)
 trap 'rm -rf "$lintdir"' EXIT
 go build -o "$lintdir/purity-lint" ./cmd/purity-lint
-"$lintdir/purity-lint" ./...
+lint_start=$(date +%s)
+if [ -n "${LINT_FINDINGS:-}" ]; then
+	lint_status=0
+	"$lintdir/purity-lint" -json ./... > "$LINT_FINDINGS" || lint_status=$?
+	if [ "$lint_status" -ne 0 ]; then
+		# Mirror the findings to stderr so the failure is readable in the log.
+		cat "$LINT_FINDINGS" >&2
+		exit "$lint_status"
+	fi
+else
+	"$lintdir/purity-lint" ./...
+fi
+lint_elapsed=$(( $(date +%s) - lint_start ))
+echo "purity-lint: clean in ${lint_elapsed}s (budget ${LINT_BUDGET}s)"
+if [ "$lint_elapsed" -gt "$LINT_BUDGET" ]; then
+	echo "purity-lint: wall clock ${lint_elapsed}s exceeds the ${LINT_BUDGET}s budget" >&2
+	exit 1
+fi
 
 echo "== go build"
 go build ./...
