@@ -1,23 +1,31 @@
-// Command purity-lint runs the repo's invariant checker: eleven rules that
-// enforce the conventions Purity's correctness argument rests on — lock
-// annotations and path-sensitive lock states (backed by checked callee
-// summaries), no decoding of unverified flash bytes, allocator-only
+// Command purity-lint runs the repo's invariant checker: thirteen rules
+// that enforce the conventions Purity's correctness argument rests on —
+// lock annotations and path-sensitive lock states (backed by checked
+// callee summaries), no decoding of unverified flash bytes, allocator-only
 // seqnos, immutable facts, crash-sweep coverage of durable writes, no
-// dropped errors, no debug prints, plus the interprocedural
-// concurrency-lifetime rules for the HA front end: connguard (every conn
-// read/write dominated by a deadline on all paths, across calls),
-// releasepair (admission slots released exactly once on every path), and
-// goroutinelife (no goroutine spawns a provably unexitable loop). See
-// internal/lint and the "Machine-checked invariants" section of DESIGN.md.
+// dropped errors, no debug prints, plus the interprocedural rules:
+// connguard (every conn read/write dominated by a deadline on all paths,
+// across calls), releasepair (admission slots released exactly once on
+// every path), goroutinelife (no goroutine spawns a provably unexitable
+// loop), lockorder (the whole-module lock-acquisition graph is acyclic and
+// matches the declared //lint:lockorder hierarchy), and commitorder (every
+// durable-state apply is dominated by an NVRAM append on every path —
+// persist before apply). See internal/lint and the "Machine-checked
+// invariants" section of DESIGN.md.
 //
 // Usage:
 //
 //	go run ./cmd/purity-lint ./...
 //	go run ./cmd/purity-lint -rules lockflow,taintverify ./internal/core
 //	go run ./cmd/purity-lint -json ./... > findings.json
+//	go run ./cmd/purity-lint -graph lock ./... > lockorder.dot
+//	go run ./cmd/purity-lint -graph calls -json ./... > callgraph.json
 //
 // -rules runs a named subset, which CI uses to split the fast
-// intra-procedural rules from the summary-based pass.
+// intra-procedural rules from the summary-based pass. -graph skips rule
+// checking and instead emits the inferred lock-order graph ("lock") or the
+// module call graph ("calls") as Graphviz DOT, or as JSON with -json —
+// DESIGN.md's lock-hierarchy section is regenerated from this output.
 //
 // Exit status 0 when clean, 1 when any diagnostic survives suppression,
 // 2 on load or usage errors.
@@ -49,10 +57,11 @@ func main() {
 	var (
 		ruleList = flag.String("rules", "", "comma-separated subset of rules to run (default: all)")
 		list     = flag.Bool("list", false, "list the available rules and exit")
-		asJSON   = flag.Bool("json", false, "emit diagnostics as a JSON array on stdout")
+		asJSON   = flag.Bool("json", false, "emit diagnostics (or -graph output) as JSON on stdout")
+		graph    = flag.String("graph", "", "emit a graph instead of diagnostics: \"lock\" (lock-order graph) or \"calls\" (call graph); DOT by default, JSON with -json")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: purity-lint [-rules r1,r2] [-list] [-json] [packages]\n")
+		fmt.Fprintf(os.Stderr, "usage: purity-lint [-rules r1,r2] [-list] [-json] [-graph lock|calls] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -93,6 +102,29 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "purity-lint: %v\n", err)
 		os.Exit(2)
+	}
+	if *graph != "" {
+		var dump interface{ DOT() string }
+		switch *graph {
+		case "lock":
+			dump = lint.DumpLockGraph(prog)
+		case "calls":
+			dump = lint.DumpCallGraph(prog)
+		default:
+			fmt.Fprintf(os.Stderr, "purity-lint: unknown graph %q (want \"lock\" or \"calls\")\n", *graph)
+			os.Exit(2)
+		}
+		if *asJSON {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(dump); err != nil {
+				fmt.Fprintf(os.Stderr, "purity-lint: %v\n", err)
+				os.Exit(2)
+			}
+		} else {
+			fmt.Print(dump.DOT())
+		}
+		return
 	}
 	diags := lint.Run(prog, rules)
 	relName := func(name string) string {

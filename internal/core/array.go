@@ -446,6 +446,7 @@ func (a *Array) newSegmentWriterLocked(at sim.Time) (*layout.Writer, sim.Time, e
 		State:      relation.SegmentOpen,
 		TotalBytes: uint64(a.cfg.Layout.SegmentLogicalSize()),
 	}.Fact(a.seqs.Next())}
+	//lint:ignore commitorder segment existence is not log-replayed state: recovery re-derives open segments from the checkpoint frontier and AU trailers (recover steps 2-4), so no NVRAM append precedes this fact
 	if err := a.pyr[relation.IDSegments].Insert(facts); err != nil {
 		return nil, done, err
 	}
@@ -456,6 +457,7 @@ func (a *Array) newSegmentWriterLocked(at sim.Time) (*layout.Writer, sim.Time, e
 			Drive: uint64(au.Drive), AUIndex: uint64(au.Index),
 		}.Fact(a.seqs.Next()))
 	}
+	//lint:ignore commitorder segment placement is re-derived from AU trailers and the frontier scan at recovery, not replayed from the NVRAM log
 	if err := a.pyr[relation.IDSegmentAUs].Insert(auFacts); err != nil {
 		return nil, done, err
 	}
@@ -481,6 +483,7 @@ func (a *Array) sealWriterLocked(at sim.Time, w *layout.Writer) (sim.Time, error
 		return done, err
 	}
 	a.segMap[info.ID] = info
+	//lint:ignore commitorder the sealed-state fact mirrors the AU trailers the Seal call just wrote; recovery re-derives sealed segments from the trailers, not the NVRAM log
 	if err := a.pyr[relation.IDSegments].Insert([]tuple.Fact{relation.SegmentRow{
 		Segment:    uint64(info.ID),
 		State:      relation.SegmentSealed,

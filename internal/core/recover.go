@@ -183,6 +183,7 @@ func OpenAt(cfg Config, sh *shelf.Shelf, at sim.Time, fullScan bool) (*Array, Re
 	a.crash.Hit("recover.scanned")
 
 	// 5. Materialize elide tables from the recovered elide relation.
+	//lint:ignore commitorder recovery baseline: the watermark is derived from state already read back from the log and checkpoint — nothing is applied that durable media does not hold
 	a.persistedSeq = a.seqs.Current()
 	if _, err := a.pyr[relation.IDElide].ScanVersions(done, nil, nil, func(f tuple.Fact) bool {
 		a.applyElideFact(f)
@@ -287,6 +288,7 @@ func OpenAt(cfg Config, sh *shelf.Shelf, at sim.Time, fullScan bool) (*Array, Re
 		}
 	}
 	a.crash.Hit("recover.replayed")
+	//lint:ignore commitorder recovery baseline after replay: every replayed fact came out of the NVRAM log itself, so the watermark claims nothing the log does not hold
 	a.persistedSeq = a.seqs.Current()
 
 	// 7b. Rebuild AU swaps. A rebuild commits each shard's SegmentAUs fact
@@ -459,6 +461,7 @@ func OpenAt(cfg Config, sh *shelf.Shelf, at sim.Time, fullScan bool) (*Array, Re
 			LiveBytes:  uint64(a.liveBytes[id]),
 		}.Fact(a.seqs.Next()))
 	}
+	//lint:ignore commitorder segment facts are re-derived here from the just-recovered segment map (checkpoint + AU trailers), not replayed from the NVRAM log — there is no append to precede them
 	if err := a.pyr[relation.IDSegments].Insert(segFacts); err != nil {
 		return nil, rs, err
 	}
@@ -524,7 +527,7 @@ func (a *Array) replayRecord(at sim.Time, payload []byte) (sim.Time, error) {
 		for _, f := range facts {
 			a.seqs.AdvanceTo(f.Seq)
 		}
-		//lint:ignore lockcheck recovery is single-threaded; the array is not yet published
+		//lint:ignore lockcheck,commitorder recovery replay: single-threaded before the array is published, and every fact applied here was just read back out of the NVRAM log itself
 		if err := a.applyFactsLocked(relID, facts); err != nil {
 			return at, fmt.Errorf("%w: %v", errBadRecord, err)
 		}
@@ -562,11 +565,11 @@ func (a *Array) replayRecord(at sim.Time, payload []byte) (sim.Time, error) {
 					ch.dedup[i] = relation.RemapDedup(ch.dedup[i], uint64(seg), uint64(off), uint64(len(frame)))
 				}
 			}
-			//lint:ignore lockcheck recovery is single-threaded; the array is not yet published
+			//lint:ignore lockcheck,commitorder recovery replay: single-threaded before the array is published, and the remapped addr facts come from a record the NVRAM log already holds
 			if err := a.applyFactsLocked(relation.IDAddrs, []tuple.Fact{ch.addr}); err != nil {
 				return done, fmt.Errorf("%w: %v", errBadRecord, err)
 			}
-			//lint:ignore lockcheck recovery is single-threaded; the array is not yet published
+			//lint:ignore lockcheck,commitorder recovery replay: single-threaded before the array is published, and the dedup facts come from a record the NVRAM log already holds
 			if err := a.applyFactsLocked(relation.IDDedup, ch.dedup); err != nil {
 				return done, fmt.Errorf("%w: %v", errBadRecord, err)
 			}

@@ -60,6 +60,15 @@ type graphFunc struct {
 	// nested literals (a deferred literal still runs on the same receiver).
 	ownCalls []funcNode
 
+	// syncCallees are the callees that run *synchronously* in this body's
+	// goroutine: resolved direct calls outside `go` statements, plus
+	// literals that provably run before return (deferred or immediately
+	// invoked). Work spawned with `go` is excluded — a goroutine that
+	// acquires mu while its spawner holds mu is not a lock-order edge, and
+	// an async commit does not dominate anything. The ordering-sensitive
+	// summaries (lockorder, commitorder) propagate along these edges only.
+	syncCallees []funcNode
+
 	// recursive marks membership in a call-graph cycle, including direct
 	// self-calls. Summaries collapse recursive nodes to a conservative top
 	// where a bottom-up pass cannot terminate.
@@ -138,6 +147,33 @@ func (cg *callGraph) collectEdges(gf *graphFunc, modPath string) {
 	for _, lit := range directLits(gf.fb.body) {
 		add(funcNode{Lit: lit})
 	}
+	// Synchronous call edges: resolved calls outside `go` subtrees, plus
+	// run-before-return literals. Method values and escaping literals are
+	// excluded — where they run is unknown (lossy toward silence).
+	syncSeen := map[funcNode]bool{}
+	addSync := func(n funcNode) {
+		if !syncSeen[n] {
+			syncSeen[n] = true
+			gf.syncCallees = append(gf.syncCallees, n)
+		}
+	}
+	ast.Inspect(gf.fb.body, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false
+		case *ast.DeferStmt:
+			if lit, ok := ast.Unparen(m.Call.Fun).(*ast.FuncLit); ok {
+				addSync(funcNode{Lit: lit})
+			}
+		case *ast.CallExpr:
+			if lit, ok := ast.Unparen(m.Fun).(*ast.FuncLit); ok {
+				addSync(funcNode{Lit: lit}) // immediately invoked
+			} else if fn := calleeFunc(gf.pkg.Info, m); moduleFunc(fn, modPath) {
+				addSync(funcNode{Fn: fn})
+			}
+		}
+		return true
+	})
 	// Own-receiver calls: full body including literals, declarations only.
 	if gf.fb.lit == nil && gf.recvName != "" {
 		ownSeen := map[funcNode]bool{}

@@ -293,3 +293,47 @@ func f(n int) {
 		t.Errorf("state at exit = %v, want true via loop back edge", got)
 	}
 }
+
+// A goto from outside a loop into its body is illegal Go (it jumps into a
+// block), but the parser accepts it and label resolution must not panic
+// or wire the edge anywhere surprising: the jump lands on the labeled
+// statement inside the loop body, and the loop's own back edge still
+// works. The builder sees only syntax, so it models the control flow the
+// text describes.
+func TestCFGGotoIntoLoop(t *testing.T) {
+	checkCFG(t, `
+func gi(n int) {
+	goto inside
+	for n > 0 {
+	inside:
+		n--
+	}
+}`, `
+b0{goto inside}: b5
+b1{}:
+b2{n > 0}: T:b3 F:b4
+b3{}: b5
+b4{}: impl:b1
+b5{n--}: b2`)
+}
+
+// select with a default case never blocks: the default arm is one more
+// successor of the header, joining the arms at the statement after the
+// select.
+func TestCFGSelectDefault(t *testing.T) {
+	checkCFG(t, `
+func seld(a chan int, n int) int {
+	select {
+	case v := <-a:
+		return v
+	default:
+		n = 1
+	}
+	return n
+}`, `
+b0{}: b3 b4
+b1{}:
+b2{return n}: ret:b1
+b3{v := <-a; return v}: ret:b1
+b4{n = 1}: b2`)
+}

@@ -66,6 +66,8 @@ func DefaultRules() []Rule {
 		&ConnGuard{Scope: []string{"internal/server", "internal/client", "internal/wire"}},
 		&ReleasePair{Scope: []string{"internal/server", "internal/controller", "internal/client"}},
 		&GoroutineLife{Scope: []string{"internal/server", "internal/controller", "internal/client", "internal/core"}},
+		&LockOrder{},
+		&CommitOrder{Scope: []string{"internal/core"}},
 	}
 }
 
@@ -107,6 +109,7 @@ func Run(prog *Program, rules []Rule) []Diagnostic {
 		seen[key] = true
 		out = append(out, d)
 	}
+	out = append(out, auditStale(prog, sup)...)
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -144,21 +147,50 @@ func ruleFamily(rule string) string {
 // reason is mandatory: an ignore is a documented exception, not an off
 // switch.
 
+// supEntry is one (comment, rule) pair. A comma list makes one entry per
+// named rule, all sharing the comment position. used flips when the entry
+// suppresses a diagnostic (or discharged one at summary time); active
+// entries that never fire are reported as stale by auditStale, so a
+// suppression cannot outlive the finding it was written for.
+type supEntry struct {
+	pos    token.Pos
+	rule   string
+	active bool // the named rule is in the running set, so staleness is decidable
+	used   bool
+}
+
 type suppressions struct {
-	// byLine maps file → line → suppressed rule names.
-	byLine map[string]map[int]map[string]bool
+	// byLine maps file → line → rule → the covering entry.
+	byLine  map[string]map[int]map[string]*supEntry
+	entries []*supEntry
 }
 
 func (s suppressions) match(d Diagnostic) bool {
-	return s.byLine[d.Pos.Filename][d.Pos.Line][d.Rule]
+	e := s.byLine[d.Pos.Filename][d.Pos.Line][d.Rule]
+	if e == nil {
+		return false
+	}
+	e.used = true
+	return true
 }
 
 func collectSuppressions(prog *Program, rules []Rule, rep *Reporter) suppressions {
-	known := map[string]bool{}
+	// Grammar is validated against the full default rule set plus whatever
+	// is running, so a CI shard running a rule subset does not misreport
+	// the other shard's suppressions as unknown rules. Staleness, though,
+	// is only decidable for rules that actually ran.
+	running := map[string]bool{}
 	for _, r := range rules {
+		running[r.Name()] = true
+	}
+	known := map[string]bool{}
+	for _, r := range DefaultRules() {
 		known[r.Name()] = true
 	}
-	sup := suppressions{byLine: map[string]map[int]map[string]bool{}}
+	for name := range running {
+		known[name] = true
+	}
+	sup := suppressions{byLine: map[string]map[int]map[string]*supEntry{}}
 	for _, pkg := range prog.Pkgs {
 		if !pkg.Requested {
 			continue
@@ -181,16 +213,18 @@ func collectSuppressions(prog *Program, rules []Rule, rep *Reporter) suppression
 							rep.Reportf("ignore", c.Pos(), "//lint:ignore names unknown rule %q", name)
 							continue
 						}
+						entry := &supEntry{pos: c.Pos(), rule: name, active: running[name]}
+						sup.entries = append(sup.entries, entry)
 						file := sup.byLine[pos.Filename]
 						if file == nil {
-							file = map[int]map[string]bool{}
+							file = map[int]map[string]*supEntry{}
 							sup.byLine[pos.Filename] = file
 						}
 						for _, line := range []int{pos.Line, pos.Line + 1} {
 							if file[line] == nil {
-								file[line] = map[string]bool{}
+								file[line] = map[string]*supEntry{}
 							}
-							file[line][name] = true
+							file[line][name] = entry
 						}
 					}
 				}
@@ -198,6 +232,34 @@ func collectSuppressions(prog *Program, rules []Rule, rep *Reporter) suppression
 		}
 	}
 	return sup
+}
+
+// auditStale reports every active suppression that matched nothing this
+// run: the rule it names ran and stayed silent at that position, so the
+// comment documents an exception that no longer exists. Summary-time
+// discharges (a //lint:ignore commitorder at a leaf apply site stops the
+// obligation before it can float, so no diagnostic ever reaches match)
+// are counted as live via summaries.usedIgnores. Stale reports carry the
+// pseudo-rule "ignore" and are appended after suppression filtering, so a
+// stale comment cannot suppress its own report.
+func auditStale(prog *Program, sup suppressions) []Diagnostic {
+	var out []Diagnostic
+	for _, e := range sup.entries {
+		if !e.active || e.used {
+			continue
+		}
+		pos := prog.Fset.Position(e.pos)
+		if prog.sums != nil && prog.sums.usedIgnores[pos.Filename][pos.Line] {
+			continue
+		}
+		out = append(out, Diagnostic{
+			Pos:  pos,
+			Rule: "ignore",
+			Message: fmt.Sprintf("stale //lint:ignore: rule %q no longer fires here — delete the suppression or move it back to the finding it documents",
+				e.rule),
+		})
+	}
+	return out
 }
 
 // --- Shared AST/type helpers -------------------------------------------

@@ -4,6 +4,7 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"sort"
 	"strings"
 	"testing"
 )
@@ -113,6 +114,105 @@ func TestReleasePairFixture(t *testing.T) { runFixture(t, "releasepair", []Rule{
 
 func TestGoroutineLifeFixture(t *testing.T) {
 	runFixture(t, "goroutinelife", []Rule{&GoroutineLife{}})
+}
+
+func TestLockOrderFixture(t *testing.T) { runFixture(t, "lockorder", []Rule{&LockOrder{}}) }
+
+func TestCommitOrderFixture(t *testing.T) { runFixture(t, "commitorder", []Rule{&CommitOrder{}}) }
+
+// TestCommitOrderRevertFixture pins the lane-commit hoist hazard: if the
+// per-lane apply is ever moved above the group-commit append (the shape
+// this fixture reconstructs), the lint gate fails the build.
+func TestCommitOrderRevertFixture(t *testing.T) {
+	runFixture(t, "commitorderrevert", []Rule{&CommitOrder{}})
+}
+
+// TestStaleIgnoreFixture runs the stale-suppression audit: a suppression
+// whose rule no longer fires at that position is itself reported.
+func TestStaleIgnoreFixture(t *testing.T) { runFixture(t, "staleignore", []Rule{&ErrDrop{}}) }
+
+// TestLockOrderDeclFixture checks the declaration diagnostics, which all
+// anchor on comment-only lines where want comments cannot trail (an
+// annotation inside a //lint:lockorder comment would parse as a class
+// name), so the diagnostics are asserted directly.
+func TestLockOrderDeclFixture(t *testing.T) {
+	prog, err := Load(".", []string{filepath.Join("testdata", "lockorderdecl")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(prog, []Rule{&LockOrder{}})
+	counts := map[string]int{}
+	for _, d := range diags {
+		switch {
+		case strings.Contains(d.Message, "contradicts the declared lock order"):
+			counts["violation"]++
+		case strings.Contains(d.Message, "never acquired"):
+			counts["never"]++
+		case strings.Contains(d.Message, "contradictory //lint:lockorder"):
+			counts["contradiction"]++
+		case strings.Contains(d.Message, "malformed //lint:lockorder"):
+			counts["malformed"]++
+		default:
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for kind, want := range map[string]int{"violation": 1, "never": 1, "contradiction": 1, "malformed": 1} {
+		if counts[kind] != want {
+			t.Errorf("got %d %s diagnostics, want %d; all: %v", counts[kind], kind, want, diags)
+		}
+	}
+}
+
+// TestRunDeterministic pins the output contract the -json consumers and
+// CI diffing rely on: two runs over the same tree produce byte-identical,
+// (file, line, column, rule)-sorted diagnostics. The lockorder fixture
+// exercises the map-heavy graph code where iteration order could leak.
+func TestRunDeterministic(t *testing.T) {
+	render := func() ([]Diagnostic, []string) {
+		prog, err := Load(".", []string{filepath.Join("testdata", "lockorder")})
+		if err != nil {
+			t.Fatal(err)
+		}
+		diags := Run(prog, []Rule{&LockOrder{}})
+		var out []string
+		for _, d := range diags {
+			out = append(out, d.String())
+		}
+		return diags, out
+	}
+	diags, first := render()
+	if len(first) == 0 {
+		t.Fatal("fixture produced no diagnostics")
+	}
+	if !sort.SliceIsSorted(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	}) {
+		t.Errorf("diagnostics are not sorted: %v", first)
+	}
+	for run := 0; run < 3; run++ {
+		if _, got := render(); !slicesEqual(got, first) {
+			t.Errorf("run %d differs:\n%v\nvs\n%v", run+2, got, first)
+		}
+	}
+}
+
+func slicesEqual(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // TestIgnoreGrammar checks that a reasonless or misspelled //lint:ignore is

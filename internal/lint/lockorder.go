@@ -1,0 +1,42 @@
+package lint
+
+// LockOrder is the whole-module static deadlock check: it assembles the
+// lock-order graph (lockgraph.go) — every witnessed "class B acquired
+// while class A held" edge, direct or floated out of synchronous callees —
+// and reports
+//
+//   - any cycle reachable over blocking edges, as a potential deadlock
+//     with the full witness path (function chain plus acquisition sites);
+//     pure read-shared cycles are exempt, since RWMutex read locks admit
+//     each other;
+//   - a self-loop on one class: two instances ordered against each other,
+//     which no static order can rank (this also covers the cross-instance
+//     RLock→Lock upgrade — the same-chain upgrade is lockflow's);
+//   - an inferred edge that contradicts a declared
+//     `//lint:lockorder A < B < C` order, plus declarations that are
+//     malformed, contradictory, or name a class never acquired.
+//
+// The findings are module-global, but Run checks per package: Prepare
+// computes everything once and Check emits each finding from the package
+// whose files anchor it, so a finding appears exactly once and lands
+// where a //lint:ignore can reach it.
+
+import "path/filepath"
+
+type LockOrder struct{}
+
+func (*LockOrder) Name() string { return "lockorder" }
+func (*LockOrder) Doc() string {
+	return "whole-module lock-order graph must be acyclic over blocking edges and consistent with //lint:lockorder declarations"
+}
+
+func (lo *LockOrder) Prepare(prog *Program) { prog.summaries().lockGraph() }
+
+func (lo *LockOrder) Check(prog *Program, pkg *Package, rep *Reporter) {
+	g := prog.summaries().lockGraph()
+	for _, d := range g.pending {
+		if filepath.Dir(prog.Fset.Position(d.pos).Filename) == pkg.Dir {
+			rep.Reportf("lockorder", d.pos, "%s", d.msg)
+		}
+	}
+}

@@ -67,6 +67,20 @@ type summaries struct {
 	prog *Program
 	cg   *callGraph
 	by   map[funcNode]*funcSummary
+
+	// lg caches the module lock-order graph (lockgraph.go), built on first
+	// use by the lockorder rule or the -graph exporter.
+	lg *lockGraph
+
+	// commit caches the durability-ordering summaries (commitorder.go).
+	commit map[funcNode]*commitSummary
+
+	// usedIgnores records //lint:ignore comments (file → comment line) that
+	// discharged an obligation *inside* the summary layer — a suppressed
+	// leaf apply event never floats to callers, so no diagnostic ever
+	// reaches the suppression matcher. The stale-suppression audit counts
+	// these as live.
+	usedIgnores map[string]map[int]bool
 }
 
 // summaries builds (once) and returns the program's summary table.

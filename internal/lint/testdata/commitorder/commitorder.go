@@ -1,0 +1,95 @@
+// Package fixcommitorder is a purity-lint fixture for the commitorder
+// rule: inside a body that commits (appends to NVRAM, directly or through
+// a callee), every durable-state apply — a pyramid fact insert or a
+// persistedSeq advance — must be dominated by an append on EVERY path
+// reaching it. The fixture covers the clean shape, the plainly reversed
+// shape, the some-path shape (an append under only one branch dominates
+// nothing after the join), the apply hidden behind a helper call, and the
+// apply-only body that must stay silent because the obligation belongs to
+// its callers.
+package fixcommitorder
+
+import (
+	"purity/internal/nvram"
+	"purity/internal/pyramid"
+	"purity/internal/sim"
+	"purity/internal/tuple"
+)
+
+type engine struct {
+	dev          *nvram.Device
+	pyr          *pyramid.Pyramid
+	persistedSeq uint64
+}
+
+// commitGood is the invariant's canonical shape: append, then apply.
+func commitGood(e *engine, at sim.Time, payload []byte, facts []tuple.Fact) error {
+	if _, _, err := e.dev.Append(at, payload); err != nil {
+		return err
+	}
+	return e.pyr.Insert(facts)
+}
+
+// commitBad applies first and appends after: a crash between the two
+// leaves state the log cannot replay.
+func commitBad(e *engine, at sim.Time, payload []byte, facts []tuple.Fact) error {
+	if err := e.pyr.Insert(facts); err != nil { // want "not dominated by an NVRAM append on every path"
+		return err
+	}
+	_, _, err := e.dev.Append(at, payload)
+	return err
+}
+
+// commitSomePath appends under only one branch; at the join the MUST bit
+// drops and the apply is unprotected on the fast=false path.
+func commitSomePath(e *engine, at sim.Time, fast bool, payload []byte, facts []tuple.Fact) error {
+	if fast {
+		if _, _, err := e.dev.Append(at, payload); err != nil {
+			return err
+		}
+	}
+	return e.pyr.Insert(facts) // want "not dominated by an NVRAM append on every path"
+}
+
+// watermarkGood advances the flush watermark only after the append.
+func watermarkGood(e *engine, at sim.Time, seq uint64, payload []byte) error {
+	if _, _, err := e.dev.Append(at, payload); err != nil {
+		return err
+	}
+	e.persistedSeq = seq
+	return nil
+}
+
+// watermarkBad claims durability before the record is durable.
+func watermarkBad(e *engine, at sim.Time, seq uint64, payload []byte) error {
+	e.persistedSeq = seq // want "not dominated by an NVRAM append on every path"
+	_, _, err := e.dev.Append(at, payload)
+	return err
+}
+
+// applyHelper hides the insert behind a call. Its own body has no commit
+// event, so nothing is reported here — the undominated apply floats to
+// callers through the summary.
+func applyHelper(e *engine, facts []tuple.Fact) error {
+	return e.pyr.Insert(facts)
+}
+
+// commitViaHelper calls the applying helper before its append: the
+// floated obligation is reported at the call site with the leaf named.
+func commitViaHelper(e *engine, at sim.Time, payload []byte, facts []tuple.Fact) error {
+	if err := applyHelper(e, facts); err != nil { // want "applies durable state"
+		return err
+	}
+	_, _, err := e.dev.Append(at, payload)
+	return err
+}
+
+// applyOnly never commits: recovery-replay-shaped code. Reporting it here
+// would flag every caller twice, so the rule stays silent and lets the
+// obligation travel via the summary instead.
+func applyOnly(e *engine, facts []tuple.Fact) error {
+	if err := e.pyr.Insert(facts); err != nil {
+		return err
+	}
+	return e.pyr.Insert(facts)
+}

@@ -1,0 +1,96 @@
+// Package fixlockorder is a purity-lint fixture for the lockorder rule:
+// the module-wide lock-acquisition graph must be acyclic over blocking
+// edges. Two functions that each acquire the same pair of mutexes in
+// opposite orders deadlock under the right interleaving even though each
+// is locally well-formed — only the whole-module graph sees it. A cycle
+// of pure read-shared (RLock→RLock) edges is harmless and must stay
+// silent, and edges must be found through helper calls, not just direct
+// Lock sites. Two instances of one class held together are a hazard no
+// static order can rank.
+package fixlockorder
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+
+type B struct{ mu sync.Mutex }
+
+// forward acquires A.mu then B.mu — one half of the cycle. The report is
+// anchored here: the witness of the first edge on the cycle from the
+// alphabetically smallest class.
+func forward(a *A, b *B) {
+	a.mu.Lock()
+	b.mu.Lock() // want "lock-order cycle (potential deadlock)"
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// reverse acquires B.mu then A.mu — the other half. Locally fine; the
+// deadlock only exists because forward does the opposite.
+func reverse(a *A, b *B) {
+	b.mu.Lock()
+	a.mu.Lock()
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+type C struct{ mu sync.RWMutex }
+
+type D struct{ mu sync.RWMutex }
+
+// readForward and readReverse form a cycle of pure read-shared edges:
+// RLock admits any number of readers, so opposite orders cannot deadlock
+// and the rule must stay silent.
+func readForward(c *C, d *D) {
+	c.mu.RLock()
+	d.mu.RLock()
+	d.mu.RUnlock()
+	c.mu.RUnlock()
+}
+
+func readReverse(c *C, d *D) {
+	d.mu.RLock()
+	c.mu.RLock()
+	c.mu.RUnlock()
+	d.mu.RUnlock()
+}
+
+type E struct{ mu sync.Mutex }
+
+type F struct{ mu sync.Mutex }
+
+// lockF hides the F.mu acquisition behind a call: the edge must come from
+// the acquisition summary, not from a Lock literally in the caller.
+func lockF(f *F) {
+	f.mu.Lock()
+	f.mu.Unlock()
+}
+
+// eThenF acquires E.mu and then calls into lockF while holding it — the
+// interprocedural half of the E/F cycle, witnessed at the call site.
+func eThenF(e *E, f *F) {
+	e.mu.Lock()
+	lockF(f) // want "lock-order cycle (potential deadlock)"
+	e.mu.Unlock()
+}
+
+func fThenE(e *E, f *F) {
+	f.mu.Lock()
+	e.mu.Lock()
+	e.mu.Unlock()
+	f.mu.Unlock()
+}
+
+// G is a linked node: locking a node and then its neighbour holds two
+// instances of the same class, which no static class order can rank.
+type G struct {
+	mu   sync.Mutex
+	next *G
+}
+
+func chain(g *G) {
+	g.mu.Lock()
+	g.next.mu.Lock() // want "instances of one class cannot be ordered statically"
+	g.next.mu.Unlock()
+	g.mu.Unlock()
+}

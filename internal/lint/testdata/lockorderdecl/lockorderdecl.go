@@ -1,0 +1,60 @@
+// Package fixlockorderdecl is a purity-lint fixture for the declaration
+// side of the lockorder rule: //lint:lockorder comments are checked
+// against the inferred graph, never trusted. An acquisition that runs
+// against the declared order is reported even when the graph itself is
+// acyclic (the violating direction is the only one in code). Declarations
+// naming classes nothing ever acquires, declarations that contradict each
+// other, and malformed declarations are reported at the comment — those
+// anchor on comment-only lines, so TestLockOrderDecl asserts them
+// directly instead of with want comments.
+package fixlockorderdecl
+
+import "sync"
+
+type T struct{ mu sync.Mutex }
+
+type U struct{ mu sync.Mutex }
+
+// The checked declaration: U.mu is declared inner to T.mu... backwards
+// relative to what violate actually does.
+//
+//lint:lockorder U.mu < T.mu
+
+// violate acquires U.mu while holding T.mu. There is no cycle — this is
+// the only direction in code — but it contradicts the declaration above,
+// so either the code or the documented hierarchy is wrong.
+func violate(t *T, u *U) {
+	t.mu.Lock()
+	u.mu.Lock() // want "contradicts the declared lock order"
+	u.mu.Unlock()
+	t.mu.Unlock()
+}
+
+// A declaration naming a class that is never acquired anywhere: stale or
+// misspelled, reported at the comment.
+//
+//lint:lockorder T.mu < Ghost.mu
+
+// Contradictory pair: V.mu and W.mu each declared before the other
+// (reported at both declarations).
+//
+//lint:lockorder V.mu < W.mu
+
+//lint:lockorder W.mu < V.mu
+
+type V struct{ mu sync.Mutex }
+
+type W struct{ mu sync.Mutex }
+
+// touch acquires V.mu and W.mu separately so both classes exist in the
+// graph and the contradiction is about declarations, not missing classes.
+func touch(v *V, w *W) {
+	v.mu.Lock()
+	v.mu.Unlock()
+	w.mu.Lock()
+	w.mu.Unlock()
+}
+
+// Malformed: a dangling < with no right-hand class.
+//
+//lint:lockorder T.mu <

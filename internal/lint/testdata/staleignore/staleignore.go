@@ -1,0 +1,25 @@
+// Package fixstaleignore is a purity-lint fixture for the stale-
+// suppression audit: a //lint:ignore is a documented exception, and when
+// the rule it names stops firing at that position the exception no longer
+// exists — the comment must be reported (under the pseudo-rule "ignore")
+// rather than linger as a silent hole the next edit falls into. A
+// suppression that still matches a finding stays silent.
+package fixstaleignore
+
+import "errors"
+
+func fail() error { return errors.New("boom") }
+
+// live drops an error the rule would flag: its suppression earns its keep
+// and the audit says nothing.
+func live() {
+	//lint:ignore errdrop fixture: the error is impossible on this path
+	_ = fail()
+}
+
+// fixed once dropped the error on the line below the comment; the drop
+// was repaired but the suppression stayed behind.
+func fixed() error {
+	//lint:ignore errdrop fixture: nothing is dropped here any more // want "stale //lint:ignore"
+	return fail()
+}

@@ -21,12 +21,17 @@ fi
 echo "== go vet"
 go vet ./...
 
-echo "== purity-lint (repo invariants: lockcheck lockflow taintverify seqmono factmut crashpointcheck errdrop nodebug connguard releasepair goroutinelife)"
-# The full 11-rule pass (including the interprocedural summary layer) must
+echo "== purity-lint (repo invariants: lockcheck lockflow taintverify seqmono factmut crashpointcheck errdrop nodebug connguard releasepair goroutinelife lockorder commitorder)"
+# The full 13-rule pass (including the interprocedural summary layer) must
 # stay interactive: LINT_BUDGET seconds wall-clock, asserted below so a
 # regression in the summary fixpoint fails loudly instead of slowly.
 # LINT_FINDINGS, when set, receives the machine-readable findings (-json)
-# for CI to archive as a build artifact.
+# for CI to archive as a build artifact; LINT_GRAPHS, when set, names a
+# directory that receives the inferred lock-order and call graphs as DOT,
+# archived next to the findings (DESIGN.md's lock hierarchy is this
+# output). LINT_RULES, when set, restricts the pass to a comma-separated
+# subset — CI uses it to run the syntactic and interprocedural shards in
+# parallel.
 LINT_BUDGET="${LINT_BUDGET:-60}"
 lintdir=$(mktemp -d)
 trap 'rm -rf "$lintdir"' EXIT
@@ -34,14 +39,19 @@ go build -o "$lintdir/purity-lint" ./cmd/purity-lint
 lint_start=$(date +%s)
 if [ -n "${LINT_FINDINGS:-}" ]; then
 	lint_status=0
-	"$lintdir/purity-lint" -json ./... > "$LINT_FINDINGS" || lint_status=$?
+	"$lintdir/purity-lint" ${LINT_RULES:+-rules "$LINT_RULES"} -json ./... > "$LINT_FINDINGS" || lint_status=$?
 	if [ "$lint_status" -ne 0 ]; then
 		# Mirror the findings to stderr so the failure is readable in the log.
 		cat "$LINT_FINDINGS" >&2
 		exit "$lint_status"
 	fi
 else
-	"$lintdir/purity-lint" ./...
+	"$lintdir/purity-lint" ${LINT_RULES:+-rules "$LINT_RULES"} ./...
+fi
+if [ -n "${LINT_GRAPHS:-}" ]; then
+	mkdir -p "$LINT_GRAPHS"
+	"$lintdir/purity-lint" -graph lock ./... > "$LINT_GRAPHS/lockorder.dot"
+	"$lintdir/purity-lint" -graph calls ./... > "$LINT_GRAPHS/callgraph.dot"
 fi
 lint_elapsed=$(( $(date +%s) - lint_start ))
 echo "purity-lint: clean in ${lint_elapsed}s (budget ${LINT_BUDGET}s)"
